@@ -1,0 +1,81 @@
+// Figure 2 reproduction: throughput ratios of vertex- over edge-based
+// codes on the simulated GPU (a), the CPU models (b), and the thread-level
+// TC subset (c).
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+
+int main() {
+  using namespace indigo;
+  bench::Harness h;
+  const Algorithm algos[] = {Algorithm::BFS, Algorithm::CC, Algorithm::MIS,
+                             Algorithm::SSSP, Algorithm::TC};
+
+  bench::print_header(
+      "Figure 2", "Throughput ratios of vertex- over edge-based",
+      "GPU: mixed overall (median ~1) but MIS strongly prefers vertex "
+      "(~10x) and thread-level TC strongly prefers edge; CPU: medians "
+      "above 1 (CPUs prefer vertex-based).");
+
+  // (a) CUDA, excluding the CudaAtomic codes (Section 5.1).
+  bench::SweepOptions cu;
+  cu.model = Model::Cuda;
+  cu.style_filter = bench::classic_atomics_only;
+  const auto cuda_ms = h.sweep(cu);
+  std::cout << "\n--- (a) CUDA (simulated) ---\n";
+  const auto cuda_samples = bench::ratio_samples_by_algorithm(
+      cuda_ms, algos, Dimension::Flow, static_cast<int>(Flow::Vertex),
+      static_cast<int>(Flow::Edge));
+  bench::print_distribution(cuda_samples, "vertex / edge");
+
+  // (b) OpenMP and C++ threads pooled, as in the paper's figure.
+  bench::SweepOptions om;
+  om.model = Model::OpenMP;
+  auto cpu_ms = h.sweep(om);
+  bench::SweepOptions cp;
+  cp.model = Model::CppThreads;
+  const auto cpp_ms = h.sweep(cp);
+  cpu_ms.insert(cpu_ms.end(), cpp_ms.begin(), cpp_ms.end());
+  std::cout << "\n--- (b) OpenMP and C++ threads ---\n";
+  const auto cpu_samples = bench::ratio_samples_by_algorithm(
+      cpu_ms, algos, Dimension::Flow, static_cast<int>(Flow::Vertex),
+      static_cast<int>(Flow::Edge));
+  bench::print_distribution(cpu_samples, "vertex / edge");
+
+  // (c) Thread-granularity TC subset on the GPU.
+  std::vector<Measurement> thread_tc;
+  for (const Measurement& m : cuda_ms) {
+    if (m.algo == Algorithm::TC && m.style.gran == Granularity::Thread) {
+      thread_tc.push_back(m);
+    }
+  }
+  std::cout << "\n--- (c) thread-granularity TC ---\n";
+  const Algorithm tc_only[] = {Algorithm::TC};
+  const auto tc_samples = bench::ratio_samples_by_algorithm(
+      thread_tc, tc_only, Dimension::Flow, static_cast<int>(Flow::Vertex),
+      static_cast<int>(Flow::Edge));
+  bench::print_distribution(tc_samples, "vertex / edge");
+
+  auto median_of = [](const std::vector<stats::NamedSample>& ss,
+                      const char* label) {
+    for (const auto& s : ss) {
+      if (s.label == label && !s.values.empty()) return stats::median(s.values);
+    }
+    return 0.0;
+  };
+  bench::shape_check("GPU MIS strongly prefers vertex-based (paper ~10x)",
+                     median_of(cuda_samples, "mis") > 2.0);
+  bench::shape_check("thread-level GPU TC prefers edge-based (median < 1)",
+                     !tc_samples[0].values.empty() &&
+                         stats::median(tc_samples[0].values) < 1.0);
+  std::vector<double> cpu_medians;
+  for (const auto& s : cpu_samples) {
+    if (!s.values.empty()) cpu_medians.push_back(stats::median(s.values));
+  }
+  std::size_t above = 0;
+  for (double m : cpu_medians) above += m > 1.0;
+  bench::shape_check("most CPU medians are above 1 (CPUs prefer vertex)",
+                     above * 2 > cpu_medians.size());
+  return 0;
+}

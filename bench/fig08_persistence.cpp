@@ -1,0 +1,38 @@
+// Figure 8 reproduction: throughput ratios of persistent over
+// non-persistent GPU codes.
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+
+int main() {
+  using namespace indigo;
+  bench::Harness h;
+  const Algorithm algos[] = {Algorithm::CC, Algorithm::MIS, Algorithm::PR,
+                             Algorithm::TC, Algorithm::BFS, Algorithm::SSSP};
+
+  bench::print_header(
+      "Figure 8", "Throughput ratios of persistent over non-persistent",
+      "Most ratios and medians are very close to 1: the suite's kernels "
+      "cannot exploit the persistent style's precomputation opportunity.");
+
+  bench::SweepOptions sw;
+  sw.model = Model::Cuda;
+  sw.style_filter = bench::classic_atomics_only;
+  const auto ms = h.sweep(sw);
+  const auto samples = bench::ratio_samples_by_algorithm(
+      ms, algos, Dimension::Persistence,
+      static_cast<int>(Persistence::Persistent),
+      static_cast<int>(Persistence::NonPersistent));
+  bench::print_distribution(samples, "persistent / non-persistent");
+
+  int near_one = 0, total = 0;
+  for (const auto& s : samples) {
+    if (s.values.empty()) continue;
+    ++total;
+    const double med = stats::median(s.values);
+    near_one += med > 0.5 && med < 2.0;
+  }
+  bench::shape_check("all medians within 2x of 1.0", near_one == total);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 10 reproduction: GPU throughputs of the three sum-reduction
+// styles (global-add, block-add, reduction-add) for TC and PR.
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+
+int main() {
+  using namespace indigo;
+  bench::Harness h;
+
+  bench::print_header(
+      "Figure 10", "Throughputs of reduction styles on the simulated GPU",
+      "TC outruns PR (PR reduces every iteration); block-add tends to be "
+      "slowest; reduction-add is fastest for PR and is the recommended "
+      "style.");
+
+  bench::SweepOptions sw;
+  sw.model = Model::Cuda;
+  sw.style_filter = bench::classic_atomics_only;
+  double med[2][3] = {};
+  const Algorithm algos[2] = {Algorithm::TC, Algorithm::PR};
+  for (int ai = 0; ai < 2; ++ai) {
+    sw.algo = algos[ai];
+    const auto ms = h.sweep(sw);
+    std::vector<stats::NamedSample> samples(3);
+    samples[0].label = "global";
+    samples[1].label = "block";
+    samples[2].label = "reduction";
+    for (const Measurement& m : ms) {
+      if (!m.verified) continue;
+      samples[static_cast<std::size_t>(m.style.gred)].values.push_back(
+          m.throughput_ges);
+    }
+    std::cout << "\n--- " << to_string(algos[ai]) << " ---\n";
+    bench::print_distribution(samples, "throughput [GE/s, simulated]");
+    for (int k = 0; k < 3; ++k) {
+      med[ai][k] =
+          samples[static_cast<std::size_t>(k)].values.empty()
+              ? 0
+              : stats::median(samples[static_cast<std::size_t>(k)].values);
+    }
+  }
+
+  bench::shape_check("TC achieves higher throughput than PR",
+                     stats::median(std::vector<double>{med[0][0], med[0][1],
+                                                       med[0][2]}) >
+                         stats::median(std::vector<double>{
+                             med[1][0], med[1][1], med[1][2]}));
+  bench::shape_check("reduction-add is the fastest style for PR",
+                     med[1][2] >= med[1][0] && med[1][2] >= med[1][1]);
+  bench::shape_check("block-add is not faster than reduction-add",
+                     med[0][1] <= med[0][2] && med[1][1] <= med[1][2]);
+  return 0;
+}

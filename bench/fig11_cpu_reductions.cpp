@@ -1,0 +1,51 @@
+// Figure 11 reproduction: CPU throughputs of the three reduction styles
+// (atomic, critical section, reduction clause) for TC and PR.
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+
+int main() {
+  using namespace indigo;
+  bench::Harness h;
+
+  bench::print_header(
+      "Figure 11", "Throughputs of reduction styles on the CPU",
+      "TC outruns PR; critical sections are slowest; the reduction clause "
+      "is fastest - avoid criticals and even atomics when a clause works.");
+
+  double med[2][3] = {};
+  const Algorithm algos[2] = {Algorithm::TC, Algorithm::PR};
+  for (int ai = 0; ai < 2; ++ai) {
+    std::vector<stats::NamedSample> samples(3);
+    samples[0].label = "atomic";
+    samples[1].label = "critical";
+    samples[2].label = "clause";
+    for (Model m : {Model::OpenMP, Model::CppThreads}) {
+      bench::SweepOptions sw;
+      sw.model = m;
+      sw.algo = algos[ai];
+      for (const Measurement& x : h.sweep(sw)) {
+        if (!x.verified) continue;
+        samples[static_cast<std::size_t>(x.style.cred)].values.push_back(
+            x.throughput_ges);
+      }
+    }
+    std::cout << "\n--- " << to_string(algos[ai]) << " ---\n";
+    bench::print_distribution(samples, "throughput [GE/s]");
+    for (int k = 0; k < 3; ++k) {
+      med[ai][k] =
+          samples[static_cast<std::size_t>(k)].values.empty()
+              ? 0
+              : stats::median(samples[static_cast<std::size_t>(k)].values);
+    }
+  }
+
+  bench::shape_check("critical sections are the slowest style for PR",
+                     med[1][1] <= med[1][0] && med[1][1] <= med[1][2]);
+  bench::shape_check("the reduction clause is the fastest style for PR",
+                     med[1][2] >= med[1][0]);
+  bench::shape_check("TC achieves higher throughput than PR",
+                     med[0][2] > med[1][2]);
+  return 0;
+}

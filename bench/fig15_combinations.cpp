@@ -1,0 +1,101 @@
+// Figure 15 reproduction: for the CUDA codes, the ratio of the median
+// throughput of style_x combined with style_y over style_x without
+// style_y - which styles amplify which.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+
+int main() {
+  using namespace indigo;
+  bench::Harness h;
+
+  bench::print_header(
+      "Figure 15",
+      "Median-throughput ratio of style_x with style_y over style_x "
+      "without style_y (CUDA codes)",
+      "The push, non-deterministic, and non-persistent columns are "
+      "mostly > 1 (combine well with everything); warp also helps (high "
+      "degree inputs); dup/nodup and rw/rmw show no general preference.");
+
+  bench::SweepOptions sw;
+  sw.model = Model::Cuda;
+  sw.style_filter = bench::classic_atomics_only;
+  const auto ms = h.sweep(sw);
+
+  struct Val {
+    Dimension dim;
+    int value;
+    const char* name;
+  };
+  const Val vals[] = {
+      {Dimension::Flow, 0, "vertex"},
+      {Dimension::Flow, 1, "edge"},
+      {Dimension::Drive, 0, "topo"},
+      {Dimension::Drive, 1, "dup"},
+      {Dimension::Drive, 2, "nodup"},
+      {Dimension::Direction, 0, "push"},
+      {Dimension::Direction, 1, "pull"},
+      {Dimension::Update, 0, "rw"},
+      {Dimension::Update, 1, "rmw"},
+      {Dimension::Determinism, 0, "nondet"},
+      {Dimension::Determinism, 1, "det"},
+      {Dimension::Persistence, 0, "nonpers"},
+      {Dimension::Persistence, 1, "pers"},
+      {Dimension::Granularity, 0, "thread"},
+      {Dimension::Granularity, 1, "warp"},
+      {Dimension::Granularity, 2, "block"},
+  };
+
+  auto has = [](const Measurement& m, const Val& v) {
+    return get_dimension(m.style, v.dim) == v.value;
+  };
+
+  std::vector<std::string> labels;
+  for (const Val& v : vals) labels.push_back(v.name);
+  std::vector<std::vector<double>> cells;
+  double push_col_geo = 1, pull_col_geo = 1;
+  int push_n = 0, pull_n = 0;
+  for (const Val& x : vals) {
+    std::vector<double> line;
+    for (const Val& y : vals) {
+      if (x.dim == y.dim) {
+        line.push_back(std::nan(""));
+        continue;
+      }
+      std::vector<double> with_y, without_y;
+      for (const Measurement& m : ms) {
+        if (!m.verified || !has(m, x)) continue;
+        (has(m, y) ? with_y : without_y).push_back(m.throughput_ges);
+      }
+      if (with_y.empty() || without_y.empty()) {
+        line.push_back(std::nan(""));
+        continue;
+      }
+      const double r = stats::median(with_y) / stats::median(without_y);
+      line.push_back(r);
+      if (y.name == std::string("push")) {
+        push_col_geo *= r;
+        ++push_n;
+      }
+      if (y.name == std::string("pull")) {
+        pull_col_geo *= r;
+        ++pull_n;
+      }
+    }
+    cells.push_back(std::move(line));
+  }
+  bench::print_matrix(labels, labels, cells);
+  std::cout << "(rows: style_x, columns: style_y; '-' = same dimension or "
+               "no overlap)\n";
+
+  const double push_geo = std::pow(push_col_geo, 1.0 / std::max(push_n, 1));
+  const double pull_geo = std::pow(pull_col_geo, 1.0 / std::max(pull_n, 1));
+  bench::shape_check(
+      "adding push helps on average more than adding pull does",
+      push_geo > pull_geo);
+  bench::shape_check("the push column is net positive (geomean > 1)",
+                     push_geo > 1.0);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Section 5.13 reproduction: correlation of style throughputs with graph
+// properties. The paper found no correlation beyond +/-0.5; the largest
+// (0.44) is warp-level parallelization vs average degree.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+#include "graph/properties.hpp"
+
+int main() {
+  using namespace indigo;
+  bench::Harness h;
+
+  bench::print_header(
+      "Section 5.13", "Correlation of throughput with graph properties",
+      "No property correlates beyond +/-0.5; the highest is warp-based "
+      "parallelization vs average degree (0.44 in the paper).");
+
+  // Properties per input graph.
+  std::vector<GraphProperties> props;
+  for (const Graph& g : h.graphs()) props.push_back(compute_properties(g));
+
+  bench::SweepOptions sw;
+  sw.model = Model::Cuda;
+  sw.style_filter = bench::classic_atomics_only;
+  const auto ms = h.sweep(sw);
+
+  const char* prop_names[] = {"log(edges)", "avg_degree", "max_degree",
+                              "pct_deg>=32", "diameter"};
+  auto prop_value = [&](const GraphProperties& p, int k) -> double {
+    switch (k) {
+      case 0: return std::log10(std::max<double>(p.edges, 1));
+      case 1: return p.avg_degree;
+      case 2: return p.max_degree;
+      case 3: return p.pct_deg_ge_32;
+      default: return p.diameter;
+    }
+  };
+
+  // Rows: the three granularities (the paper's headline) plus push/pull.
+  struct Row {
+    std::string label;
+    std::function<bool(const Measurement&)> pred;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"thread-based", [](const Measurement& m) {
+                    return m.style.gran == Granularity::Thread &&
+                           m.style.flow == Flow::Vertex;
+                  }});
+  rows.push_back({"warp-based", [](const Measurement& m) {
+                    return m.style.gran == Granularity::Warp;
+                  }});
+  rows.push_back({"block-based", [](const Measurement& m) {
+                    return m.style.gran == Granularity::Block;
+                  }});
+  rows.push_back({"push-style", [](const Measurement& m) {
+                    return m.style.dir == Direction::Push;
+                  }});
+  rows.push_back({"pull-style", [](const Measurement& m) {
+                    return m.style.dir == Direction::Pull;
+                  }});
+
+  std::vector<std::vector<double>> cells;
+  double warp_avg_degree_corr = 0;
+  for (const auto& row : rows) {
+    std::vector<double> line;
+    for (int k = 0; k < 5; ++k) {
+      std::vector<double> xs, ys;
+      for (const Measurement& m : ms) {
+        if (!m.verified || !row.pred(m)) continue;
+        for (std::size_t gi = 0; gi < props.size(); ++gi) {
+          if (props[gi].name == m.graph) {
+            xs.push_back(prop_value(props[gi], k));
+            ys.push_back(std::log10(std::max(m.throughput_ges, 1e-12)));
+          }
+        }
+      }
+      const double c = stats::pearson(xs, ys);
+      line.push_back(c);
+      if (row.label == "warp-based" && k == 1) warp_avg_degree_corr = c;
+    }
+    cells.push_back(std::move(line));
+  }
+  std::vector<std::string> row_labels, col_labels;
+  for (const auto& r : rows) row_labels.push_back(r.label);
+  for (const char* p : prop_names) col_labels.push_back(p);
+  bench::print_matrix(row_labels, col_labels, cells);
+
+  bench::shape_check(
+      "warp-based throughput correlates positively with average degree",
+      warp_avg_degree_corr > 0.1);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Section 5.16 reproduction: the paper's programming guidelines as a
+// scorecard. Each bullet is re-derived from this suite's measurements
+// (all cached by the earlier figures) and marked PASS/DIFF.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+#include "graph/properties.hpp"
+
+int main() {
+  using namespace indigo;
+  bench::Harness h;
+
+  bench::print_header(
+      "Section 5.16", "Programming guidelines scorecard",
+      "Eight guidelines distilled from Figures 1-15, re-checked against "
+      "this reproduction's measurements.");
+
+  bench::SweepOptions cu;
+  cu.model = Model::Cuda;
+  cu.style_filter = bench::classic_atomics_only;
+  const auto cuda = h.sweep(cu);
+  bench::SweepOptions om;
+  om.model = Model::OpenMP;
+  const auto omp = h.sweep(om);
+  bench::SweepOptions cp;
+  cp.model = Model::CppThreads;
+  const auto cpp = h.sweep(cp);
+
+  const Algorithm core[] = {Algorithm::CC, Algorithm::MIS, Algorithm::BFS,
+                            Algorithm::SSSP};
+
+  auto median_ratio = [&](std::span<const Measurement> ms, Dimension d,
+                          int a, int b) {
+    std::vector<double> all;
+    for (Algorithm alg : core) {
+      const auto r = bench::pairwise_ratios(ms, alg, d, a, b);
+      all.insert(all.end(), r.begin(), r.end());
+    }
+    return all.empty() ? 0.0 : stats::median(all);
+  };
+
+  // 1. High-degree inputs prefer warp-based parallelization in CUDA.
+  {
+    double thread_med = 0, warp_med = 0;
+    std::vector<double> tv, wv;
+    for (const Measurement& m : cuda) {
+      if (!m.verified || m.style.flow == Flow::Edge) continue;
+      const bool dense = m.graph.find("copaper") != std::string::npos ||
+                         m.graph.find("social") != std::string::npos;
+      if (!dense) continue;
+      if (m.style.gran == Granularity::Thread) tv.push_back(m.throughput_ges);
+      if (m.style.gran == Granularity::Warp) wv.push_back(m.throughput_ges);
+    }
+    thread_med = stats::median(tv);
+    warp_med = stats::median(wv);
+    bench::shape_check("G1: high-degree inputs prefer warp-based CUDA",
+                       warp_med > thread_med);
+  }
+  // 2. Use non-deterministic and push styles everywhere.
+  bench::shape_check(
+      "G2a: non-deterministic beats deterministic in all three models",
+      median_ratio(cuda, Dimension::Determinism, 1, 0) < 1.0 &&
+          median_ratio(omp, Dimension::Determinism, 1, 0) < 1.0 &&
+          median_ratio(cpp, Dimension::Determinism, 1, 0) < 1.0);
+  bench::shape_check(
+      "G2b: push beats pull in all three models",
+      median_ratio(cuda, Dimension::Direction, 0, 1) > 1.0 &&
+          median_ratio(omp, Dimension::Direction, 0, 1) > 1.0 &&
+          median_ratio(cpp, Dimension::Direction, 0, 1) > 1.0);
+  // 3. Avoid default CudaAtomic and CPU critical sections.
+  {
+    bench::SweepOptions all_cu;
+    all_cu.model = Model::Cuda;
+    all_cu.algo = Algorithm::SSSP;
+    all_cu.style_filter = [](const Variant& v) {
+      return v.style.pers == Persistence::NonPersistent &&
+             v.style.gran == Granularity::Thread &&
+             v.style.flow == Flow::Vertex;
+    };
+    const auto ms = h.sweep(all_cu);
+    const auto r = bench::pairwise_ratios(
+        ms, Algorithm::SSSP, Dimension::AtomicsLib, 0, 1);
+    bench::shape_check("G3a: default CudaAtomic loses badly (median > 3x)",
+                       !r.empty() && stats::median(r) > 3.0);
+    // critical vs clause reduction on PR.
+    std::vector<double> crit, clause;
+    for (const Measurement& m : omp) {
+      if (m.algo != Algorithm::PR || !m.verified) continue;
+      if (m.style.cred == CpuReduction::Critical)
+        crit.push_back(m.throughput_ges);
+      if (m.style.cred == CpuReduction::Clause)
+        clause.push_back(m.throughput_ges);
+    }
+    bench::shape_check("G3b: critical-section reductions lose to the clause",
+                       stats::median(clause) > stats::median(crit));
+  }
+  // 4. Vertex- vs edge-based depends on the algorithm.
+  {
+    const auto mis_r =
+        bench::pairwise_ratios(cuda, Algorithm::MIS, Dimension::Flow, 0, 1);
+    const auto tc_r =
+        bench::pairwise_ratios(cuda, Algorithm::TC, Dimension::Flow, 0, 1);
+    bench::shape_check(
+        "G4: flow preference is algorithm-specific (MIS vertex, TC edge)",
+        !mis_r.empty() && !tc_r.empty() && stats::median(mis_r) > 1.0 &&
+            stats::median(tc_r) < stats::median(mis_r));
+  }
+  // 5. Persistent threads rarely help.
+  {
+    std::vector<double> all;
+    for (Algorithm a : kAllAlgorithms) {
+      const auto r =
+          bench::pairwise_ratios(cuda, a, Dimension::Persistence, 1, 0);
+      all.insert(all.end(), r.begin(), r.end());
+    }
+    const double med = stats::median(all);
+    bench::shape_check("G5: persistent ~= non-persistent (median within 2x)",
+                       med > 0.5 && med < 2.0);
+  }
+  // 6. Default/blocked scheduling is the safe CPU choice.
+  {
+    std::vector<double> o, c;
+    for (Algorithm a : kAllAlgorithms) {
+      const auto r1 = bench::pairwise_ratios(omp, a, Dimension::OmpSched, 0, 1);
+      o.insert(o.end(), r1.begin(), r1.end());
+      const auto r2 = bench::pairwise_ratios(cpp, a, Dimension::CppSched, 0, 1);
+      c.insert(c.end(), r2.begin(), r2.end());
+    }
+    bench::shape_check(
+        "G6: default (OMP) and blocked (C++) schedules are safe (median "
+        ">= 0.9)",
+        stats::median(o) >= 0.9 && stats::median(c) >= 0.9);
+  }
+  // 7. C++ threads prefers topology-driven.
+  bench::shape_check("G7: C++ threads prefers topology-driven",
+                     median_ratio(cpp, Dimension::Drive, 0, 2) > 1.0);
+  // 8. Data-driven wins on the GPU.
+  bench::shape_check("G8: CUDA prefers data-driven",
+                     median_ratio(cuda, Dimension::Drive, 0, 2) < 1.0);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 3 reproduction: number of code versions per model and algorithm.
+// The paper's exact counts come from Indigo2's curated config lists; this
+// suite generates every combination valid under Table 2 plus the stated
+// pairing constraints (see DESIGN.md "Variant-count note"), so the check is
+// structural: same ordering, same ballpark, exact matches where the rules
+// fully determine the count (CUDA/OpenMP PR and TC).
+#include <cstdio>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/printing.hpp"
+#include "variants/register_all.hpp"
+
+int main() {
+  using namespace indigo;
+  variants::register_all_variants();
+  const auto& reg = Registry::instance();
+
+  bench::print_header("Table 3", "Number of code versions (32-bit data type)",
+                      "CUDA 754, OpenMP 176, C++ threads 176; total 1106.");
+  const std::size_t paper[3][7] = {{168, 112, 54, 72, 180, 168, 754},
+                                   {36, 36, 18, 12, 38, 36, 176},
+                                   {36, 36, 18, 12, 38, 36, 176}};
+  const char* row_names[3] = {"CUDA (sim)", "OpenMP", "C++ threads"};
+  printf("%-14s%8s%8s%8s%8s%8s%8s%8s\n", "Language", "CC", "MIS", "PR", "TC",
+         "BFS", "SSSP", "Total");
+  std::size_t grand = 0;
+  const Algorithm order[] = {Algorithm::CC,  Algorithm::MIS, Algorithm::PR,
+                             Algorithm::TC,  Algorithm::BFS, Algorithm::SSSP};
+  for (int r = 0; r < 3; ++r) {
+    const Model m = kAllModels[r];
+    printf("%-14s", row_names[r]);
+    std::size_t total = 0;
+    for (Algorithm a : order) {
+      const std::size_t c = reg.count(m, a);
+      total += c;
+      printf("%8zu", c);
+    }
+    printf("%8zu\n", total);
+    printf("%-14s", "  (paper)");
+    for (int c = 0; c < 7; ++c) printf("%8zu", paper[r][c]);
+    printf("\n");
+    grand += total;
+  }
+  printf("\nTotal programs in this suite: %zu (paper: 1106)\n", grand);
+
+  bench::shape_check("CUDA count >> OpenMP count == C++ count",
+                     reg.select(Model::Cuda).size() >
+                             3 * reg.select(Model::OpenMP).size() &&
+                         reg.select(Model::OpenMP).size() ==
+                             reg.select(Model::CppThreads).size());
+  bench::shape_check("rule-determined counts match the paper exactly "
+                     "(CUDA PR=54, CUDA TC=72, OMP PR=18, OMP TC=12)",
+                     reg.count(Model::Cuda, Algorithm::PR) == 54 &&
+                         reg.count(Model::Cuda, Algorithm::TC) == 72 &&
+                         reg.count(Model::OpenMP, Algorithm::PR) == 18 &&
+                         reg.count(Model::OpenMP, Algorithm::TC) == 12);
+  bench::shape_check("total within 25% of the paper's 1106",
+                     grand > 830 && grand < 1400);
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "algorithms/serial/serial.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/prng.hpp"
+
+namespace indigo::serial {
+
+std::vector<dist_t> bfs(const Graph& g, vid_t source) {
+  std::vector<dist_t> dist(g.num_vertices(), kInfDist);
+  if (source >= g.num_vertices()) return dist;
+  std::queue<vid_t> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const vid_t v = q.front();
+    q.pop();
+    for (vid_t u : g.neighbors(v)) {
+      if (dist[u] == kInfDist) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<dist_t> sssp(const Graph& g, vid_t source) {
+  std::vector<dist_t> dist(g.num_vertices(), kInfDist);
+  if (source >= g.num_vertices()) return dist;
+  using Item = std::pair<dist_t, vid_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0;
+  pq.push({0, source});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d != dist[v]) continue;  // stale entry
+    for (eid_t e = g.begin_edge(v); e < g.end_edge(v); ++e) {
+      const vid_t u = g.arc_dst(e);
+      const dist_t nd = d + g.arc_weight(e);
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        pq.push({nd, u});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<vid_t> cc(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> parent(n);
+  std::iota(parent.begin(), parent.end(), vid_t{0});
+  auto find = [&](vid_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const vid_t a = find(g.arc_src(e));
+    const vid_t b = find(g.arc_dst(e));
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  // Normalize: label every vertex with the smallest id in its component,
+  // which is what min-label propagation converges to.
+  std::vector<vid_t> label(n);
+  for (vid_t v = 0; v < n; ++v) label[v] = find(v);
+  // find() with min-union keeps the root as the smallest id on its path,
+  // but path compression can leave stale intermediate parents; one more
+  // pass guarantees full flattening.
+  for (vid_t v = 0; v < n; ++v) label[v] = label[label[v]];
+  return label;
+}
+
+std::uint64_t mis_priority(vid_t v) {
+  // Non-zero salt so hash64(0) != 0; ties broken by id in comparisons.
+  return hash64(0x9e3779b97f4a7c15ull + v);
+}
+
+namespace {
+
+/// Priority comparison shared with the parallel variants: higher hash wins,
+/// lower id breaks ties.
+bool beats(vid_t a, vid_t b) {
+  const auto pa = mis_priority(a), pb = mis_priority(b);
+  return pa != pb ? pa > pb : a < b;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mis(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), vid_t{0});
+  std::sort(order.begin(), order.end(), beats);
+  std::vector<std::uint8_t> in_set(n, 0);
+  std::vector<std::uint8_t> excluded(n, 0);
+  for (vid_t v : order) {
+    if (excluded[v]) continue;
+    in_set[v] = 1;
+    for (vid_t u : g.neighbors(v)) excluded[u] = 1;
+  }
+  return in_set;
+}
+
+std::vector<float> pagerank(const Graph& g, double epsilon, int max_iters) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return {};
+  constexpr double kDamping = 0.85;
+  std::vector<double> rank(n, 1.0 / n), next(n);
+  const double base = (1.0 - kDamping) / n;
+  for (int it = 0; it < max_iters; ++it) {
+    double residual = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (vid_t u : g.neighbors(v)) {
+        sum += rank[u] / g.degree(u);
+      }
+      next[v] = base + kDamping * sum;
+      residual += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (residual < epsilon) break;
+  }
+  return std::vector<float>(rank.begin(), rank.end());
+}
+
+std::uint64_t tc(const Graph& g) {
+  std::uint64_t count = 0;
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs_u = g.neighbors(u);
+    for (vid_t v : nbrs_u) {
+      if (v <= u) continue;
+      // Count w > v adjacent to both u and v; each triangle u<v<w counted
+      // exactly once.
+      const auto nbrs_v = g.neighbors(v);
+      auto it_u = std::upper_bound(nbrs_u.begin(), nbrs_u.end(), v);
+      auto it_v = std::upper_bound(nbrs_v.begin(), nbrs_v.end(), v);
+      while (it_u != nbrs_u.end() && it_v != nbrs_v.end()) {
+        if (*it_u < *it_v) {
+          ++it_u;
+        } else if (*it_v < *it_u) {
+          ++it_v;
+        } else {
+          ++count;
+          ++it_u;
+          ++it_v;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace indigo::serial

@@ -1,0 +1,43 @@
+// Simple serial reference implementations of the six graph problems
+// (paper Table 1). Every parallel variant's output is checked against these
+// (Section 4.1: "Each code verifies its computed solution by comparing it to
+// the solution of a simple serial algorithm").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace indigo::serial {
+
+/// Hop distances from `source` (kInfDist for unreachable vertices).
+std::vector<dist_t> bfs(const Graph& g, vid_t source);
+
+/// Weighted shortest-path distances from `source` via Dijkstra
+/// (kInfDist for unreachable vertices). Weights are non-negative.
+std::vector<dist_t> sssp(const Graph& g, vid_t source);
+
+/// Connected-component labels; every vertex is labelled with the smallest
+/// vertex id of its component (union-find + normalization pass).
+std::vector<vid_t> cc(const Graph& g);
+
+/// Maximal independent set selected greedily by descending priority
+/// (ties by ascending id): the unique "lexicographically first" MIS under
+/// the shared priority function mis_priority(). Returns 1 for members.
+std::vector<std::uint8_t> mis(const Graph& g);
+
+/// The vertex priority shared by the serial reference and every parallel
+/// MIS variant (hash of the id, tie-broken by id).
+std::uint64_t mis_priority(vid_t v);
+
+/// PageRank scores (d = 0.85), Jacobi iteration until the L1 residual
+/// drops below `epsilon` (or max_iters). Dangling mass is not
+/// redistributed; the same convention is used by all parallel variants.
+std::vector<float> pagerank(const Graph& g, double epsilon = 1e-6,
+                            int max_iters = 1000);
+
+/// Number of unique triangles {u, v, w} (each counted once).
+std::uint64_t tc(const Graph& g);
+
+}  // namespace indigo::serial

@@ -1,0 +1,199 @@
+#include "bench_util/harness.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "threading/thread_team.hpp"
+#include "variants/register_all.hpp"
+
+namespace indigo::bench {
+namespace {
+
+std::string scale_tag() {
+  const char* env = std::getenv("REPRO_SCALE");
+  return env != nullptr ? env : "1";
+}
+
+std::string make_key(const std::string& program, const std::string& graph,
+                     const std::string& device, int threads) {
+  std::ostringstream os;
+  os << program << '|' << graph << '|' << device << '|' << threads << '|'
+     << scale_tag();
+  return os.str();
+}
+
+}  // namespace
+
+Harness::Harness() {
+  variants::register_all_variants();
+  graphs_ = make_study_inputs();
+  verifiers_.resize(graphs_.size());
+  const char* env = std::getenv("REPRO_CACHE");
+  cache_path_ = env != nullptr ? env : "repro_cache.csv";
+  if (cache_path_.empty()) return;
+  std::ifstream in(cache_path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    // key \t seconds \t throughput \t iterations \t verified
+    std::istringstream ls(line);
+    std::string key;
+    CacheEntry e{};
+    int verified = 0;
+    if (std::getline(ls, key, '\t') &&
+        (ls >> e.seconds >> e.throughput >> e.iterations >> verified)) {
+      e.verified = verified != 0;
+      cache_[key] = e;
+    }
+  }
+}
+
+Harness::CacheEntry* Harness::cache_find(const std::string& key) {
+  const auto it = cache_.find(key);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void Harness::cache_append(const std::string& key, const CacheEntry& e) {
+  cache_[key] = e;
+  if (cache_path_.empty()) return;
+  std::ofstream out(cache_path_, std::ios::app);
+  out.precision(17);  // doubles must round-trip exactly
+  out << key << '\t' << e.seconds << '\t' << e.throughput << '\t'
+      << e.iterations << '\t' << (e.verified ? 1 : 0) << '\n';
+}
+
+Verifier& Harness::verifier_for(const Graph& g) {
+  for (std::size_t i = 0; i < graphs_.size(); ++i) {
+    if (&graphs_[i] == &g) {
+      if (!verifiers_[i]) verifiers_[i] = std::make_unique<Verifier>(g, 0);
+      return *verifiers_[i];
+    }
+  }
+  throw std::logic_error("verifier_for: unknown graph");
+}
+
+RunOptions Harness::base_run_options(const vcuda::DeviceSpec* device) const {
+  RunOptions opts;
+  opts.source = 0;
+  opts.num_threads = cpu_threads();
+  opts.device = device;
+  return opts;
+}
+
+Measurement Harness::measure_one(const Variant& v, const Graph& g,
+                                 const vcuda::DeviceSpec* device, int reps) {
+  const std::string dev_name =
+      v.model == Model::Cuda
+          ? (device != nullptr ? device->name : "rtx3090_like")
+          : "cpu";
+  const std::string key = make_key(v.name, g.name(), dev_name, cpu_threads());
+  if (CacheEntry* e = cache_find(key)) {
+    Measurement m;
+    m.program = v.name;
+    m.model = v.model;
+    m.algo = v.algo;
+    m.style = v.style;
+    m.graph = g.name();
+    m.seconds = e->seconds;
+    m.throughput_ges = e->throughput;
+    m.iterations = e->iterations;
+    m.verified = e->verified;
+    if (!e->verified) m.error = "cached failure";
+    return m;
+  }
+  const RunOptions opts = base_run_options(device);
+  Measurement m;
+  try {
+    m = measure(v, g, opts, reps, verifier_for(g));
+  } catch (const std::exception& ex) {
+    m.program = v.name;
+    m.model = v.model;
+    m.algo = v.algo;
+    m.style = v.style;
+    m.graph = g.name();
+    m.verified = false;
+    m.error = ex.what();
+  }
+  cache_append(key, {m.seconds, m.throughput_ges, m.iterations, m.verified});
+  if (!m.verified) {
+    std::cerr << "\n[warn] " << m.program << " on " << m.graph
+              << " failed verification: " << m.error << '\n';
+  }
+  return m;
+}
+
+std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
+  const auto selected = Registry::instance().select(opts.model, opts.algo);
+  std::vector<Measurement> out;
+  std::size_t done = 0;
+  for (const Variant* v : selected) {
+    if (opts.style_filter && !opts.style_filter(*v)) continue;
+    for (const Graph& g : graphs_) {
+      out.push_back(measure_one(*v, g, opts.device, opts.reps));
+      if (++done % 50 == 0) std::cerr << '.' << std::flush;
+    }
+  }
+  if (done >= 50) std::cerr << '\n';
+  return out;
+}
+
+std::vector<double> pairwise_ratios(std::span<const Measurement> ms,
+                                    Algorithm algo, Dimension d, int value_a,
+                                    int value_b) {
+  // Index verified measurements by (style-with-d-cleared, graph).
+  std::map<std::pair<std::string, int>, double> table;
+  auto key_of = [&](const Measurement& m) {
+    StyleConfig base = with_dimension(m.style, d, 0);
+    return std::pair<std::string, int>(
+        m.graph + "#" + program_name(m.model, m.algo, base),
+        get_dimension(m.style, d));
+  };
+  for (const Measurement& m : ms) {
+    if (m.algo != algo || !m.verified) continue;
+    table[key_of(m)] = m.throughput_ges;
+  }
+  std::vector<double> ratios;
+  for (const auto& [key, thr_a] : table) {
+    if (key.second != value_a) continue;
+    const auto it = table.find({key.first, value_b});
+    if (it == table.end() || it->second <= 0.0) continue;
+    ratios.push_back(thr_a / it->second);
+  }
+  return ratios;
+}
+
+std::vector<stats::NamedSample> ratio_samples_by_algorithm(
+    std::span<const Measurement> ms, std::span<const Algorithm> algos,
+    Dimension d, int value_a, int value_b) {
+  std::vector<stats::NamedSample> samples;
+  for (Algorithm a : algos) {
+    stats::NamedSample s;
+    s.label = to_string(a);
+    s.values = pairwise_ratios(ms, a, d, value_a, value_b);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+std::vector<Measurement> verified_of_model(std::span<const Measurement> ms,
+                                           Model m) {
+  std::vector<Measurement> out;
+  for (const Measurement& x : ms) {
+    if (x.model == m && x.verified) out.push_back(x);
+  }
+  return out;
+}
+
+bool shape_check(const std::string& name, bool condition) {
+  std::cout << (condition ? "[SHAPE PASS] " : "[SHAPE DIFF] ") << name
+            << '\n';
+  return condition;
+}
+
+bool classic_atomics_only(const Variant& v) {
+  return v.style.alib == AtomicsLib::Classic;
+}
+
+}  // namespace indigo::bench

@@ -1,0 +1,100 @@
+// Shared harness for the per-figure/table bench binaries.
+//
+// A Harness owns the five study inputs, runs (variant x graph) sweeps with
+// verification, and memoizes every measurement in a CSV cache file so the
+// ~18 bench binaries can share one full-suite sweep instead of re-running
+// it. Ratio utilities implement the paper's methodology (Section 5
+// preamble): to compare two alternatives of one style dimension, pair up
+// programs that are identical in every other dimension and divide their
+// throughputs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/runner.hpp"
+#include "core/validity.hpp"
+#include "graph/generate.hpp"
+#include "stats/summary.hpp"
+#include "vcuda/device_spec.hpp"
+
+namespace indigo::bench {
+
+struct SweepOptions {
+  std::optional<Model> model;
+  std::optional<Algorithm> algo;
+  /// Device for Model::Cuda variants; nullptr = the default rtx3090_like.
+  const vcuda::DeviceSpec* device = nullptr;
+  /// Only variants whose style passes this predicate (nullptr = all).
+  std::function<bool(const Variant&)> style_filter;
+  int reps = 1;
+};
+
+class Harness {
+ public:
+  /// Registers all variants, generates the study inputs at their default
+  /// scales, and opens the measurement cache (path from REPRO_CACHE, else
+  /// "repro_cache.csv" in the working directory; empty string disables).
+  Harness();
+
+  [[nodiscard]] const std::vector<Graph>& graphs() const { return graphs_; }
+
+  /// Measures every selected (variant, graph) pair; cached results are
+  /// reused. Prints a progress dot stream to stderr.
+  std::vector<Measurement> sweep(const SweepOptions& opts);
+
+  /// Convenience: one measurement (cached).
+  Measurement measure_one(const Variant& v, const Graph& g,
+                          const vcuda::DeviceSpec* device, int reps);
+
+  [[nodiscard]] RunOptions base_run_options(
+      const vcuda::DeviceSpec* device) const;
+
+ private:
+  std::vector<Graph> graphs_;
+  std::string cache_path_;
+  // key -> cached measurement fields
+  struct CacheEntry {
+    double seconds;
+    double throughput;
+    std::uint64_t iterations;
+    bool verified;
+  };
+  std::map<std::string, CacheEntry> cache_;
+  std::vector<std::unique_ptr<Verifier>> verifiers_;
+
+  CacheEntry* cache_find(const std::string& key);
+  void cache_append(const std::string& key, const CacheEntry& e);
+  Verifier& verifier_for(const Graph& g);
+};
+
+/// All pairwise throughput ratios value_a-over-value_b of one dimension,
+/// holding every other dimension and the input graph fixed. Unverified or
+/// failed measurements are dropped (the paper only reports verified runs).
+std::vector<double> pairwise_ratios(std::span<const Measurement> ms,
+                                    Algorithm algo, Dimension d, int value_a,
+                                    int value_b);
+
+/// Groups ratios per algorithm into the boxen samples the figures plot.
+std::vector<stats::NamedSample> ratio_samples_by_algorithm(
+    std::span<const Measurement> ms, std::span<const Algorithm> algos,
+    Dimension d, int value_a, int value_b);
+
+/// Filters measurements to verified ones of one model.
+std::vector<Measurement> verified_of_model(std::span<const Measurement> ms,
+                                           Model m);
+
+/// Simple shape-check reporting: prints PASS/FAIL (to stdout) of a named
+/// expectation and returns whether it held.
+bool shape_check(const std::string& name, bool condition);
+
+/// Excludes the CudaAtomic codes, as the paper does after Section 5.1.
+bool classic_atomics_only(const Variant& v);
+
+}  // namespace indigo::bench

@@ -1,0 +1,46 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+
+namespace indigo {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(Variant v) {
+  if (find(v.model, v.algo, v.style) != nullptr) {
+    throw std::logic_error("duplicate variant registered: " + v.name);
+  }
+  variants_.push_back(std::move(v));
+}
+
+std::vector<const Variant*> Registry::select(std::optional<Model> m,
+                                             std::optional<Algorithm> a) const {
+  std::vector<const Variant*> out;
+  for (const Variant& v : variants_) {
+    if (m && v.model != *m) continue;
+    if (a && v.algo != *a) continue;
+    out.push_back(&v);
+  }
+  return out;
+}
+
+const Variant* Registry::find(Model m, Algorithm a,
+                              const StyleConfig& c) const {
+  for (const Variant& v : variants_) {
+    if (v.model == m && v.algo == a && v.style == c) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Registry::count(Model m, Algorithm a) const {
+  std::size_t n = 0;
+  for (const Variant& v : variants_) {
+    n += v.model == m && v.algo == a;
+  }
+  return n;
+}
+
+}  // namespace indigo

@@ -1,0 +1,151 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "algorithms/serial/serial.hpp"
+#include "core/registry.hpp"
+
+namespace indigo {
+
+Verifier::Verifier(const Graph& g, vid_t source) : g_(g), source_(source) {}
+
+namespace {
+
+std::string mismatch(const std::string& what, std::size_t index,
+                     double expected, double actual) {
+  std::ostringstream os;
+  os << what << " mismatch at " << index << ": expected " << expected
+     << ", got " << actual;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Verifier::check(Algorithm a, const AlgoOutput& out) {
+  const vid_t n = g_.num_vertices();
+  switch (a) {
+    case Algorithm::BFS: {
+      if (!have_bfs_) {
+        bfs_ = serial::bfs(g_, source_);
+        have_bfs_ = true;
+      }
+      if (out.labels.size() != n) return "BFS output has wrong size";
+      for (vid_t v = 0; v < n; ++v) {
+        if (out.labels[v] != bfs_[v])
+          return mismatch("BFS distance", v, bfs_[v], out.labels[v]);
+      }
+      return {};
+    }
+    case Algorithm::SSSP: {
+      if (!have_sssp_) {
+        sssp_ = serial::sssp(g_, source_);
+        have_sssp_ = true;
+      }
+      if (out.labels.size() != n) return "SSSP output has wrong size";
+      for (vid_t v = 0; v < n; ++v) {
+        if (out.labels[v] != sssp_[v])
+          return mismatch("SSSP distance", v, sssp_[v], out.labels[v]);
+      }
+      return {};
+    }
+    case Algorithm::CC: {
+      if (!have_cc_) {
+        cc_ = serial::cc(g_);
+        have_cc_ = true;
+      }
+      if (out.labels.size() != n) return "CC output has wrong size";
+      // Min-label propagation converges to the smallest id per component,
+      // which is exactly the serial reference's normalization.
+      for (vid_t v = 0; v < n; ++v) {
+        if (out.labels[v] != cc_[v])
+          return mismatch("CC label", v, cc_[v], out.labels[v]);
+      }
+      return {};
+    }
+    case Algorithm::MIS: {
+      if (!have_mis_) {
+        mis_ = serial::mis(g_);
+        have_mis_ = true;
+      }
+      if (out.labels.size() != n) return "MIS output has wrong size";
+      // The priority-greedy MIS is unique, so exact comparison is valid
+      // (and subsumes independence + maximality).
+      for (vid_t v = 0; v < n; ++v) {
+        if ((out.labels[v] != 0) != (mis_[v] != 0))
+          return mismatch("MIS membership", v, mis_[v], out.labels[v]);
+      }
+      return {};
+    }
+    case Algorithm::PR: {
+      if (!have_pr_) {
+        pr_ = serial::pagerank(g_);
+        have_pr_ = true;
+      }
+      if (out.ranks.size() != n) return "PR output has wrong size";
+      // All variants converge to the same fixpoint; tolerate iteration-
+      // order and float-atomics differences with a mixed abs/rel bound
+      // (residual thresholds leave up to ~epsilon/(1-d) of L1 slack).
+      for (vid_t v = 0; v < n; ++v) {
+        const double e = pr_[v], got = out.ranks[v];
+        const double tol = 2e-3 * std::abs(e) + 1e-2 / std::max<double>(n, 1);
+        if (std::abs(e - got) > tol)
+          return mismatch("PageRank score", v, e, got);
+      }
+      return {};
+    }
+    case Algorithm::TC: {
+      if (!have_tc_) {
+        tc_ = serial::tc(g_);
+        have_tc_ = true;
+      }
+      if (out.count != tc_)
+        return mismatch("triangle count", 0, static_cast<double>(tc_),
+                        static_cast<double>(out.count));
+      return {};
+    }
+  }
+  return "unknown algorithm";
+}
+
+Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
+                    int reps, Verifier& verifier) {
+  Measurement m;
+  m.program = v.name;
+  m.model = v.model;
+  m.algo = v.algo;
+  m.style = v.style;
+  m.graph = g.name();
+
+  std::vector<double> times;
+  RunResult last;
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    if (v.model == Model::Cuda) {
+      // Simulated time: the variant reports it directly.
+      last = v.run(g, opts);
+      times.push_back(last.seconds);
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      last = v.run(g, opts);
+      const auto t1 = std::chrono::steady_clock::now();
+      times.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+  }
+  std::sort(times.begin(), times.end());
+  m.seconds = times[times.size() / 2];
+  m.iterations = last.iterations;
+  if (!last.converged) {
+    m.error = "did not converge within max_iterations";
+    return m;
+  }
+  m.error = verifier.check(v.algo, last.output);
+  m.verified = m.error.empty();
+  // Paper Section 4.5: edges / runtime / 1e9.
+  m.throughput_ges = static_cast<double>(g.num_edges()) /
+                     std::max(m.seconds, 1e-12) / 1e9;
+  return m;
+}
+
+}  // namespace indigo

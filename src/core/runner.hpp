@@ -1,0 +1,90 @@
+// Variant execution: options, results, timing, throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/styles.hpp"
+#include "graph/csr.hpp"
+#include "vcuda/device_spec.hpp"
+
+namespace indigo {
+
+class ThreadTeam;
+
+/// Union of the six algorithms' outputs; which fields are meaningful
+/// depends on the algorithm:
+///   CC   -> labels (component label per vertex)
+///   MIS  -> labels (1 = in the set, 0 = out)
+///   BFS  -> labels (hop distance, kInfDist unreachable)
+///   SSSP -> labels (weighted distance, kInfDist unreachable)
+///   PR   -> ranks
+///   TC   -> count (triangles)
+struct AlgoOutput {
+  std::vector<std::uint32_t> labels;
+  std::vector<float> ranks;
+  std::uint64_t count = 0;
+};
+
+/// Per-run options shared by all variants.
+struct RunOptions {
+  vid_t source = 0;                            // BFS/SSSP root
+  int num_threads = 0;                         // 0 = cpu_threads()
+  const vcuda::DeviceSpec* device = nullptr;   // required for Model::Cuda
+  ThreadTeam* team = nullptr;                  // optional reusable team
+  double pr_epsilon = 1e-6;                    // PR convergence threshold
+  std::uint64_t max_iterations = 1u << 22;     // convergence guard
+};
+
+/// What one variant execution produced.
+struct RunResult {
+  AlgoOutput output;
+  double seconds = 0;        // wall time (CPU) or simulated time (vcuda)
+  std::uint64_t iterations = 0;
+  bool converged = true;     // false if max_iterations was hit
+};
+
+/// Checks a variant's output against the serial references, computing the
+/// references lazily (and only once) per graph.
+class Verifier {
+ public:
+  Verifier(const Graph& g, vid_t source);
+
+  /// Empty string if correct, otherwise a description of the mismatch.
+  std::string check(Algorithm a, const AlgoOutput& out);
+
+ private:
+  const Graph& g_;
+  vid_t source_;
+  std::vector<dist_t> bfs_, sssp_;
+  std::vector<vid_t> cc_;
+  std::vector<std::uint8_t> mis_;
+  std::vector<float> pr_;
+  std::uint64_t tc_ = 0;
+  bool have_bfs_ = false, have_sssp_ = false, have_cc_ = false,
+       have_mis_ = false, have_pr_ = false, have_tc_ = false;
+};
+
+struct Variant;  // see core/registry.hpp
+
+/// One timed, verified data point: variant x graph.
+struct Measurement {
+  std::string program;     // program_name()
+  Model model{};
+  Algorithm algo{};
+  StyleConfig style{};
+  std::string graph;
+  double seconds = 0;          // median over reps
+  double throughput_ges = 0;   // giga-edges/s (paper Section 4.5)
+  std::uint64_t iterations = 0;
+  bool verified = false;
+  std::string error;
+};
+
+/// Runs `v` on `g` `reps` times, medians the time, verifies the last
+/// output. `verifier` may be shared across calls for the same graph.
+Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
+                    int reps, Verifier& verifier);
+
+}  // namespace indigo

@@ -1,0 +1,160 @@
+#include "core/styles.hpp"
+
+#include "core/validity.hpp"
+
+namespace indigo {
+
+const char* to_string(Model m) {
+  switch (m) {
+    case Model::Cuda: return "cuda";
+    case Model::OpenMP: return "omp";
+    case Model::CppThreads: return "cpp";
+  }
+  return "?";
+}
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::CC: return "cc";
+    case Algorithm::MIS: return "mis";
+    case Algorithm::PR: return "pr";
+    case Algorithm::TC: return "tc";
+    case Algorithm::BFS: return "bfs";
+    case Algorithm::SSSP: return "sssp";
+  }
+  return "?";
+}
+
+const char* to_string(Flow v) {
+  return v == Flow::Vertex ? "vertex" : "edge";
+}
+
+const char* to_string(Drive v) {
+  switch (v) {
+    case Drive::Topology: return "topo";
+    case Drive::DataDup: return "data_dup";
+    case Drive::DataNoDup: return "data_nodup";
+  }
+  return "?";
+}
+
+const char* to_string(Direction v) {
+  return v == Direction::Push ? "push" : "pull";
+}
+
+const char* to_string(Update v) {
+  return v == Update::ReadWrite ? "rw" : "rmw";
+}
+
+const char* to_string(Determinism v) {
+  return v == Determinism::NonDet ? "nondet" : "det";
+}
+
+const char* to_string(Persistence v) {
+  return v == Persistence::NonPersistent ? "nonpersist" : "persist";
+}
+
+const char* to_string(Granularity v) {
+  switch (v) {
+    case Granularity::Thread: return "thread";
+    case Granularity::Warp: return "warp";
+    case Granularity::Block: return "block";
+  }
+  return "?";
+}
+
+const char* to_string(AtomicsLib v) {
+  return v == AtomicsLib::Classic ? "atomic" : "cudaatomic";
+}
+
+const char* to_string(GpuReduction v) {
+  switch (v) {
+    case GpuReduction::GlobalAdd: return "global_add";
+    case GpuReduction::BlockAdd: return "block_add";
+    case GpuReduction::ReductionAdd: return "reduction_add";
+  }
+  return "?";
+}
+
+const char* to_string(CpuReduction v) {
+  switch (v) {
+    case CpuReduction::Atomic: return "atomic_red";
+    case CpuReduction::Critical: return "critical_red";
+    case CpuReduction::Clause: return "clause_red";
+  }
+  return "?";
+}
+
+const char* to_string(OmpSched v) {
+  return v == OmpSched::Default ? "default" : "dynamic";
+}
+
+const char* to_string(CppSched v) {
+  return v == CppSched::Blocked ? "blocked" : "cyclic";
+}
+
+const char* to_string(Dimension d) {
+  switch (d) {
+    case Dimension::Flow: return "vertex/edge";
+    case Dimension::Drive: return "topo/data";
+    case Dimension::Direction: return "push/pull";
+    case Dimension::Update: return "rw/rmw";
+    case Dimension::Determinism: return "nondet/det";
+    case Dimension::Persistence: return "persistence";
+    case Dimension::Granularity: return "granularity";
+    case Dimension::AtomicsLib: return "atomics-lib";
+    case Dimension::GpuReduction: return "gpu-reduction";
+    case Dimension::CpuReduction: return "cpu-reduction";
+    case Dimension::OmpSched: return "omp-schedule";
+    case Dimension::CppSched: return "cpp-schedule";
+  }
+  return "?";
+}
+
+const char* dimension_value_name(Dimension d, int value) {
+  switch (d) {
+    case Dimension::Flow: return to_string(static_cast<Flow>(value));
+    case Dimension::Drive: return to_string(static_cast<Drive>(value));
+    case Dimension::Direction: return to_string(static_cast<Direction>(value));
+    case Dimension::Update: return to_string(static_cast<Update>(value));
+    case Dimension::Determinism:
+      return to_string(static_cast<Determinism>(value));
+    case Dimension::Persistence:
+      return to_string(static_cast<Persistence>(value));
+    case Dimension::Granularity:
+      return to_string(static_cast<Granularity>(value));
+    case Dimension::AtomicsLib:
+      return to_string(static_cast<AtomicsLib>(value));
+    case Dimension::GpuReduction:
+      return to_string(static_cast<GpuReduction>(value));
+    case Dimension::CpuReduction:
+      return to_string(static_cast<CpuReduction>(value));
+    case Dimension::OmpSched: return to_string(static_cast<OmpSched>(value));
+    case Dimension::CppSched: return to_string(static_cast<CppSched>(value));
+  }
+  return "?";
+}
+
+std::string style_name(Model m, Algorithm a, const StyleConfig& c) {
+  std::string out;
+  for (Dimension d : kAllDimensions) {
+    if (!dimension_applies(m, a, d)) continue;
+    if (!out.empty()) out += '-';
+    out += dimension_value_name(d, get_dimension(c, d));
+  }
+  return out;
+}
+
+std::string program_name(Model m, Algorithm a, const StyleConfig& c) {
+  std::string out = to_string(a);
+  out += '-';
+  out += to_string(m);
+  const std::string s = style_name(m, a, c);
+  if (!s.empty()) {
+    out += '-';
+    out += s;
+  }
+  return out;
+}
+
+}  // namespace indigo

@@ -1,0 +1,117 @@
+// The paper's 13 parallelization/implementation style dimensions (Section 2)
+// as a compile-time taxonomy.
+//
+// Every program in the suite is one point in this style space. StyleConfig
+// is a structural type usable as a non-type template parameter, which is how
+// the suite "generates" its hundreds of code versions: each algorithm x
+// programming-model pair is a single kernel family templated on StyleConfig,
+// and the registry instantiates it for every combination that is valid under
+// the paper's Table 2 applicability matrix (see core/validity.hpp).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace indigo {
+
+/// Programming model (paper Section 4.1, Table 3). Cuda denotes our
+/// virtual-CUDA simulator (see src/vcuda and DESIGN.md "Substitutions").
+enum class Model : std::uint8_t { Cuda, OpenMP, CppThreads };
+inline constexpr Model kAllModels[] = {Model::Cuda, Model::OpenMP,
+                                       Model::CppThreads};
+
+/// The six graph problems of Table 1.
+enum class Algorithm : std::uint8_t { CC, MIS, PR, TC, BFS, SSSP };
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::CC, Algorithm::MIS, Algorithm::PR,
+    Algorithm::TC, Algorithm::BFS, Algorithm::SSSP};
+
+// --- the 13 style dimensions -------------------------------------------
+
+/// 2.1 Vertex-based vs. edge-based iteration.
+enum class Flow : std::uint8_t { Vertex, Edge };
+
+/// 2.2 Topology-driven vs. data-driven, folded together with 2.3
+/// (duplicates vs. no duplicates on the worklist), which only exists for
+/// data-driven codes.
+enum class Drive : std::uint8_t { Topology, DataDup, DataNoDup };
+
+/// 2.4 Push vs. pull data flow.
+enum class Direction : std::uint8_t { Push, Pull };
+
+/// 2.5 Read-write vs. read-modify-write updates.
+enum class Update : std::uint8_t { ReadWrite, ReadModifyWrite };
+
+/// 2.6 Internally non-deterministic (single array) vs. deterministic
+/// (two-array) updates.
+enum class Determinism : std::uint8_t { NonDet, Det };
+
+/// 2.7 Persistent vs. non-persistent threads (GPU only).
+enum class Persistence : std::uint8_t { NonPersistent, Persistent };
+
+/// 2.8 Thread vs. warp vs. block work granularity (GPU only).
+enum class Granularity : std::uint8_t { Thread, Warp, Block };
+
+/// 2.9 Classic atomics vs. libcu++-style cuda::atomic with default
+/// (seq_cst, system-scope) settings (GPU only).
+enum class AtomicsLib : std::uint8_t { Classic, CudaAtomic };
+
+/// 2.10.1 GPU sum-reduction styles (TC and PR only).
+enum class GpuReduction : std::uint8_t { GlobalAdd, BlockAdd, ReductionAdd };
+
+/// 2.10.2 CPU sum-reduction styles (TC and PR only).
+enum class CpuReduction : std::uint8_t { Atomic, Critical, Clause };
+
+/// 2.11 OpenMP loop schedule (OpenMP only).
+enum class OmpSched : std::uint8_t { Default, Dynamic };
+
+/// 2.12 Blocked vs. cyclic iteration assignment (C++ threads only).
+enum class CppSched : std::uint8_t { Blocked, Cyclic };
+
+/// One point in the style space. Dimensions that do not apply to a given
+/// (model, algorithm) pair are pinned to their first enumerator so that two
+/// configs never name the same program twice (enforced by is_valid()).
+struct StyleConfig {
+  Flow flow = Flow::Vertex;
+  Drive drive = Drive::Topology;
+  Direction dir = Direction::Push;
+  Update upd = Update::ReadModifyWrite;
+  Determinism det = Determinism::NonDet;
+  Persistence pers = Persistence::NonPersistent;
+  Granularity gran = Granularity::Thread;
+  AtomicsLib alib = AtomicsLib::Classic;
+  GpuReduction gred = GpuReduction::GlobalAdd;
+  CpuReduction cred = CpuReduction::Atomic;
+  OmpSched osched = OmpSched::Default;
+  CppSched csched = CppSched::Blocked;
+
+  friend constexpr auto operator<=>(const StyleConfig&,
+                                    const StyleConfig&) = default;
+};
+
+// --- names ---------------------------------------------------------------
+
+const char* to_string(Model m);
+const char* to_string(Algorithm a);
+const char* to_string(Flow v);
+const char* to_string(Drive v);
+const char* to_string(Direction v);
+const char* to_string(Update v);
+const char* to_string(Determinism v);
+const char* to_string(Persistence v);
+const char* to_string(Granularity v);
+const char* to_string(AtomicsLib v);
+const char* to_string(GpuReduction v);
+const char* to_string(CpuReduction v);
+const char* to_string(OmpSched v);
+const char* to_string(CppSched v);
+
+/// Short dash-separated tag naming exactly the dimensions that apply to the
+/// (model, algorithm) pair, e.g. "vertex-topo-push-rmw-nondet-sched_default".
+std::string style_name(Model m, Algorithm a, const StyleConfig& c);
+
+/// Full program name, e.g. "sssp-omp-vertex-topo-push-rmw-nondet-default".
+std::string program_name(Model m, Algorithm a, const StyleConfig& c);
+
+}  // namespace indigo

@@ -1,0 +1,214 @@
+// The applicability matrix of the paper's Table 2 plus the pairing
+// constraints stated in the text, as constexpr predicates. The variant
+// registries use these at compile time to decide which StyleConfigs to
+// instantiate; the benches use them at run time to build pairwise style
+// comparisons.
+#pragma once
+
+#include "core/styles.hpp"
+
+namespace indigo {
+
+/// The comparable style dimensions, used by benches to hold "all other
+/// styles fixed" while varying one (paper Section 5 preamble).
+enum class Dimension : std::uint8_t {
+  Flow,         // vertex/edge
+  Drive,        // topology/data-dup/data-nodup
+  Direction,    // push/pull
+  Update,       // read-write/read-modify-write
+  Determinism,  // nondet/det
+  Persistence,  // persistent/non-persistent (GPU)
+  Granularity,  // thread/warp/block (GPU)
+  AtomicsLib,   // atomic/cudaatomic (GPU)
+  GpuReduction, // global/block/reduction-add (GPU, TC+PR)
+  CpuReduction, // atomic/critical/clause (CPU, TC+PR)
+  OmpSched,     // default/dynamic (OpenMP)
+  CppSched,     // blocked/cyclic (C++ threads)
+};
+inline constexpr Dimension kAllDimensions[] = {
+    Dimension::Flow,         Dimension::Drive,       Dimension::Direction,
+    Dimension::Update,       Dimension::Determinism, Dimension::Persistence,
+    Dimension::Granularity,  Dimension::AtomicsLib,  Dimension::GpuReduction,
+    Dimension::CpuReduction, Dimension::OmpSched,    Dimension::CppSched};
+
+const char* to_string(Dimension d);
+
+constexpr bool is_gpu(Model m) { return m == Model::Cuda; }
+
+/// Does the reduction-style dimension exist for this algorithm? Only the
+/// counting/summing codes (TC, PR) perform reductions (Table 2).
+constexpr bool has_reduction(Algorithm a) {
+  return a == Algorithm::TC || a == Algorithm::PR;
+}
+
+/// Table 2, row by row: does `d` apply to (m, a) at all?
+constexpr bool dimension_applies(Model m, Algorithm a, Dimension d) {
+  switch (d) {
+    case Dimension::Flow:
+      return a != Algorithm::PR;  // PR is vertex-based only
+    case Dimension::Drive:
+      return a != Algorithm::PR && a != Algorithm::TC;
+    case Dimension::Direction:
+      return a != Algorithm::TC;  // TC has no data flow between vertex values
+    case Dimension::Update:
+      // Read-write requires monotonic, priority-inversion-resilient updates
+      // (2.5); MIS, PR, and TC are RMW-only in Table 2.
+      return a == Algorithm::CC || a == Algorithm::BFS || a == Algorithm::SSSP;
+    case Dimension::Determinism:
+      return a != Algorithm::TC;  // TC is deterministic-only (Table 2)
+    case Dimension::Persistence:
+      return is_gpu(m);
+    case Dimension::Granularity:
+      return is_gpu(m);
+    case Dimension::AtomicsLib:
+      // CudaAtomic does not support floats yet (Section 5.1), so PR is out.
+      return is_gpu(m) && a != Algorithm::PR;
+    case Dimension::GpuReduction:
+      return is_gpu(m) && has_reduction(a);
+    case Dimension::CpuReduction:
+      return !is_gpu(m) && has_reduction(a);
+    case Dimension::OmpSched:
+      return m == Model::OpenMP;
+    case Dimension::CppSched:
+      return m == Model::CppThreads;
+  }
+  return false;
+}
+
+/// Is `c` a canonical, meaningful program for (m, a)? This folds in:
+///  - Table 2 per-algorithm restrictions (MIS has no duplicate worklists;
+///    PR and TC are topology-driven; TC is push-pinned and deterministic;
+///    MIS/PR/TC are RMW-only; PR is vertex-based; ...),
+///  - the pairing constraints the text states or implies: pull-style codes
+///    are topology-driven (worklists are populated by pushing to updated
+///    neighbours, 2.4); read-write updates are only used in internally
+///    non-deterministic codes (the two-array style exists to make the
+///    iteration count reproducible, which racy read-write writes defeat,
+///    2.5/2.6); push-style PR is deterministic-only (Section 5.6),
+///  - canonical pinning: any dimension that does not apply must sit at its
+///    default enumerator so each program has exactly one name.
+constexpr bool is_valid(Model m, Algorithm a, const StyleConfig& c) {
+  const StyleConfig def{};
+  // Pin non-applicable dimensions to their defaults.
+  if (!dimension_applies(m, a, Dimension::Flow) && c.flow != def.flow)
+    return false;
+  if (!dimension_applies(m, a, Dimension::Drive) && c.drive != def.drive)
+    return false;
+  if (!dimension_applies(m, a, Dimension::Direction) && c.dir != def.dir)
+    return false;
+  if (!dimension_applies(m, a, Dimension::Update) && c.upd != def.upd)
+    return false;
+  if (!dimension_applies(m, a, Dimension::Determinism) && c.det != def.det)
+    return false;
+  if (!dimension_applies(m, a, Dimension::Persistence) && c.pers != def.pers)
+    return false;
+  if (!dimension_applies(m, a, Dimension::Granularity) && c.gran != def.gran)
+    return false;
+  if (!dimension_applies(m, a, Dimension::AtomicsLib) && c.alib != def.alib)
+    return false;
+  if (!dimension_applies(m, a, Dimension::GpuReduction) && c.gred != def.gred)
+    return false;
+  if (!dimension_applies(m, a, Dimension::CpuReduction) && c.cred != def.cred)
+    return false;
+  if (!dimension_applies(m, a, Dimension::OmpSched) && c.osched != def.osched)
+    return false;
+  if (!dimension_applies(m, a, Dimension::CppSched) && c.csched != def.csched)
+    return false;
+
+  // MIS never allows duplicates on the worklist (Table 2).
+  if (a == Algorithm::MIS && c.drive == Drive::DataDup) return false;
+  // Pull-style codes are topology-driven (2.4): worklists are populated by
+  // pushing updated neighbours.
+  if (c.dir == Direction::Pull && c.drive != Drive::Topology) return false;
+  // Read-write only in internally non-deterministic codes (2.5/2.6).
+  if (c.upd == Update::ReadWrite && c.det == Determinism::Det) return false;
+  // Read-write pairs only with topology-driven execution: a racy lost
+  // update is repaired because every edge is re-examined each iteration,
+  // whereas a worklist code can strand a vertex at a stale value (the
+  // "resilient to temporary priority inversions" requirement of 2.5).
+  if (c.upd == Update::ReadWrite && c.drive != Drive::Topology) return false;
+  // Push-style PR exists only in the deterministic two-array form (5.6).
+  if (a == Algorithm::PR && c.dir == Direction::Push &&
+      c.det == Determinism::NonDet)
+    return false;
+  // Warp/block granularity distributes a work item's inner loop across
+  // lanes; edge-based relaxation items have no inner loop, so only TC
+  // (whose per-edge intersection is itself a loop) combines edge-based
+  // with warp/block granularity meaningfully.
+  if (is_gpu(m) && c.flow == Flow::Edge && a != Algorithm::TC &&
+      c.gran != Granularity::Thread)
+    return false;
+  // Data-driven MIS uses vertex worklists only (an "undecided arcs" list
+  // would duplicate the vertex logic per endpoint without a new style).
+  if (a == Algorithm::MIS && c.drive != Drive::Topology &&
+      c.flow == Flow::Edge)
+    return false;
+  return true;
+}
+
+/// Number of alternatives a dimension offers.
+constexpr int dimension_cardinality(Dimension d) {
+  switch (d) {
+    case Dimension::Drive:
+    case Dimension::Granularity:
+    case Dimension::GpuReduction:
+    case Dimension::CpuReduction:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+/// Reads/writes one dimension of a StyleConfig generically (0-based index
+/// into the dimension's enumerators). Used by the ratio machinery to form
+/// "same config except dimension D" pairs.
+constexpr int get_dimension(const StyleConfig& c, Dimension d) {
+  switch (d) {
+    case Dimension::Flow: return static_cast<int>(c.flow);
+    case Dimension::Drive: return static_cast<int>(c.drive);
+    case Dimension::Direction: return static_cast<int>(c.dir);
+    case Dimension::Update: return static_cast<int>(c.upd);
+    case Dimension::Determinism: return static_cast<int>(c.det);
+    case Dimension::Persistence: return static_cast<int>(c.pers);
+    case Dimension::Granularity: return static_cast<int>(c.gran);
+    case Dimension::AtomicsLib: return static_cast<int>(c.alib);
+    case Dimension::GpuReduction: return static_cast<int>(c.gred);
+    case Dimension::CpuReduction: return static_cast<int>(c.cred);
+    case Dimension::OmpSched: return static_cast<int>(c.osched);
+    case Dimension::CppSched: return static_cast<int>(c.csched);
+  }
+  return 0;
+}
+
+constexpr StyleConfig with_dimension(StyleConfig c, Dimension d, int value) {
+  switch (d) {
+    case Dimension::Flow: c.flow = static_cast<Flow>(value); break;
+    case Dimension::Drive: c.drive = static_cast<Drive>(value); break;
+    case Dimension::Direction: c.dir = static_cast<Direction>(value); break;
+    case Dimension::Update: c.upd = static_cast<Update>(value); break;
+    case Dimension::Determinism:
+      c.det = static_cast<Determinism>(value);
+      break;
+    case Dimension::Persistence:
+      c.pers = static_cast<Persistence>(value);
+      break;
+    case Dimension::Granularity:
+      c.gran = static_cast<Granularity>(value);
+      break;
+    case Dimension::AtomicsLib: c.alib = static_cast<AtomicsLib>(value); break;
+    case Dimension::GpuReduction:
+      c.gred = static_cast<GpuReduction>(value);
+      break;
+    case Dimension::CpuReduction:
+      c.cred = static_cast<CpuReduction>(value);
+      break;
+    case Dimension::OmpSched: c.osched = static_cast<OmpSched>(value); break;
+    case Dimension::CppSched: c.csched = static_cast<CppSched>(value); break;
+  }
+  return c;
+}
+
+/// Name of the `value`-th alternative of dimension `d` ("push", "warp", ...).
+const char* dimension_value_name(Dimension d, int value);
+
+}  // namespace indigo

@@ -1,0 +1,37 @@
+// Readers and writers for the on-disk graph formats the paper's inputs ship
+// in, so real downloads (DIMACS .gr road graphs, SNAP edge lists, SuiteSparse
+// Matrix Market files) can be dropped into the harness in place of the
+// generated stand-ins.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace indigo {
+
+/// Reads a DIMACS shortest-path ".gr" file ("c" comments, "p sp <n> <m>",
+/// "a <u> <v> <w>" arcs, 1-based ids). The result is symmetrized.
+Graph read_dimacs_gr(std::istream& in, std::string name = "dimacs");
+
+/// Reads a whitespace-separated edge list with optional "#" comments (SNAP
+/// style): one "u v [w]" pair per line, 0-based ids. Vertices are sized by
+/// the maximum id seen. The result is symmetrized; missing weights become 1.
+Graph read_edge_list(std::istream& in, std::string name = "edgelist");
+
+/// Reads a Matrix Market coordinate file (pattern or integer/real entries;
+/// general or symmetric). 1-based ids; the result is symmetrized.
+Graph read_matrix_market(std::istream& in, std::string name = "mtx");
+
+/// Writes the graph as a DIMACS ".gr" file (every stored arc, 1-based).
+void write_dimacs_gr(const Graph& g, std::ostream& out);
+
+/// Writes the graph as a "u v w" edge list (every stored arc, 0-based).
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Loads a graph from a path, dispatching on extension: ".gr" -> DIMACS,
+/// ".mtx" -> Matrix Market, anything else -> edge list.
+Graph load_graph_file(const std::string& path);
+
+}  // namespace indigo

@@ -1,0 +1,48 @@
+// Small deterministic PRNG used by the graph generators and by MIS
+// priorities. SplitMix64 is stateless-splittable, fast, and reproducible
+// across platforms, which keeps every generated input bit-identical from run
+// to run (the whole study depends on inputs being fixed).
+#pragma once
+
+#include <cstdint>
+
+namespace indigo {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush; 64-bit state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift range reduction; bias is negligible for bound << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless hash of a 64-bit value with SplitMix64's finalizer. Used for
+/// per-vertex priorities (MIS) so variants agree on priorities without
+/// sharing PRNG state.
+constexpr std::uint64_t hash64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace indigo

@@ -1,0 +1,97 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace indigo {
+namespace {
+
+/// BFS returning (farthest vertex, depth); only explores one component.
+std::pair<vid_t, vid_t> bfs_sweep(const Graph& g, vid_t start) {
+  std::vector<vid_t> depth(g.num_vertices(), kNoVertex);
+  std::vector<vid_t> frontier{start};
+  depth[start] = 0;
+  vid_t level = 0;
+  vid_t last = start;
+  while (!frontier.empty()) {
+    std::vector<vid_t> next;
+    for (vid_t v : frontier) {
+      for (vid_t u : g.neighbors(v)) {
+        if (depth[u] == kNoVertex) {
+          depth[u] = level + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    if (!next.empty()) last = next.back();
+    frontier = std::move(next);
+    ++level;
+  }
+  return {last, level == 0 ? 0 : level - 1};
+}
+
+}  // namespace
+
+vid_t pseudo_diameter(const Graph& g, vid_t start) {
+  if (g.num_vertices() == 0) return 0;
+  const auto [far1, d1] = bfs_sweep(g, start);
+  const auto [far2, d2] = bfs_sweep(g, far1);
+  (void)far2;
+  return std::max(d1, d2);
+}
+
+GraphProperties compute_properties(const Graph& g) {
+  GraphProperties p;
+  p.name = g.name();
+  p.vertices = g.num_vertices();
+  p.edges = g.num_edges();
+  p.size_mb = static_cast<double>(g.size_bytes()) / (1024.0 * 1024.0);
+
+  const vid_t n = g.num_vertices();
+  if (n == 0) return p;
+
+  std::uint64_t deg_ge_32 = 0, deg_ge_512 = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t d = g.degree(v);
+    p.max_degree = std::max(p.max_degree, d);
+    deg_ge_32 += d >= 32;
+    deg_ge_512 += d >= 512;
+  }
+  p.avg_degree = static_cast<double>(g.num_edges()) / n;
+  p.pct_deg_ge_32 = 100.0 * static_cast<double>(deg_ge_32) / n;
+  p.pct_deg_ge_512 = 100.0 * static_cast<double>(deg_ge_512) / n;
+
+  // Connected components by repeated BFS; track the largest component and
+  // a member vertex for the diameter sweep.
+  std::vector<bool> seen(n, false);
+  vid_t best_root = 0, best_size = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (seen[v]) continue;
+    ++p.num_components;
+    vid_t size = 0;
+    std::queue<vid_t> q;
+    q.push(v);
+    seen[v] = true;
+    while (!q.empty()) {
+      const vid_t w = q.front();
+      q.pop();
+      ++size;
+      for (vid_t u : g.neighbors(w)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          q.push(u);
+        }
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_root = v;
+    }
+  }
+  p.largest_component = best_size;
+  p.diameter = pseudo_diameter(g, best_root);
+  return p;
+}
+
+}  // namespace indigo

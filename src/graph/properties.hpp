@@ -1,0 +1,36 @@
+// Structural graph statistics reported in the paper's Tables 4 and 5 and
+// correlated against throughput in Section 5.13.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace indigo {
+
+/// One row of the paper's Tables 4 + 5 for a given graph.
+struct GraphProperties {
+  std::string name;
+  vid_t vertices = 0;
+  eid_t edges = 0;            // directed arcs, as the paper counts them
+  double size_mb = 0.0;       // in-memory array footprint
+  double avg_degree = 0.0;    // d_avg
+  vid_t max_degree = 0;       // d_max
+  double pct_deg_ge_32 = 0;   // % of vertices with degree >= 32
+  double pct_deg_ge_512 = 0;  // % of vertices with degree >= 512
+  vid_t diameter = 0;         // pseudo-diameter (double-sweep lower bound)
+  vid_t num_components = 0;
+  vid_t largest_component = 0;
+};
+
+/// Computes all properties. The diameter is the double-sweep BFS lower
+/// bound (exact enough for the high/low-diameter classification the study
+/// uses), measured within the largest connected component.
+GraphProperties compute_properties(const Graph& g);
+
+/// Unweighted eccentricity lower bound: runs BFS from `start`, then again
+/// from the farthest vertex found, returning the second sweep's depth.
+vid_t pseudo_diameter(const Graph& g, vid_t start);
+
+}  // namespace indigo

@@ -1,0 +1,30 @@
+// Fundamental scalar types shared by every module.
+//
+// The paper evaluates the 32-bit data-type versions of the suite (Section
+// 4.1), so vertex ids, edge ids, and edge weights are all 32-bit here. The
+// 64-bit versions mentioned in the paper are out of scope for the measured
+// study and therefore for this reproduction.
+#pragma once
+
+#include <cstdint>
+
+namespace indigo {
+
+/// Vertex identifier. Dense, 0-based.
+using vid_t = std::uint32_t;
+/// Edge identifier: an index into the CSR/COO edge arrays.
+using eid_t = std::uint32_t;
+/// Edge weight. The suite draws weights uniformly from [1, 255] so that
+/// shortest-path sums stay far from 32-bit overflow on every input we ship.
+using weight_t = std::uint32_t;
+/// Distance value for BFS/SSSP. Kept at 32 bits per the paper.
+using dist_t = std::uint32_t;
+
+/// Sentinel distance used as "infinity" by BFS/SSSP; large enough that
+/// dist + weight never wraps for our inputs (weights <= 255, hops < 2^23).
+inline constexpr dist_t kInfDist = 0x3fffffffu;
+
+/// Sentinel for "no vertex".
+inline constexpr vid_t kNoVertex = 0xffffffffu;
+
+}  // namespace indigo

@@ -1,0 +1,198 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace indigo::stats {
+
+double quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> data) {
+  std::vector<double> copy(data.begin(), data.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile(copy, 0.5);
+}
+
+double geomean(std::span<const double> data) {
+  if (data.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : data) log_sum += std::log(std::max(v, 1e-300));
+  return std::exp(log_sum / static_cast<double>(data.size()));
+}
+
+double arithmetic_mean(std::span<const double> data) {
+  if (data.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : data) s += v;
+  return s / static_cast<double>(data.size());
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const double mx = arithmetic_mean(x.subspan(0, n));
+  const double my = arithmetic_mean(y.subspan(0, n));
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LetterValues letter_values(std::vector<double> data, std::size_t stop_count) {
+  LetterValues lv;
+  if (data.empty()) return lv;
+  std::sort(data.begin(), data.end());
+  lv.count = data.size();
+  lv.min = data.front();
+  lv.max = data.back();
+  lv.median = quantile(data, 0.5);
+  double tail = 0.5;
+  // Each depth halves the tail mass; stop once the tail would contain fewer
+  // than stop_count observations.
+  while (tail * static_cast<double>(data.size()) / 2.0 >=
+         static_cast<double>(stop_count)) {
+    tail /= 2.0;
+    lv.lower.push_back(quantile(data, tail));
+    lv.upper.push_back(quantile(data, 1.0 - tail));
+  }
+  const double lo_fence = lv.lower.empty() ? lv.min : lv.lower.back();
+  const double hi_fence = lv.upper.empty() ? lv.max : lv.upper.back();
+  for (double v : data) {
+    if (v < lo_fence || v > hi_fence) lv.outliers.push_back(v);
+  }
+  return lv;
+}
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-3)) {
+    os << std::scientific << std::setprecision(2) << v;
+  } else {
+    os << std::fixed << std::setprecision(3) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_boxen(const std::vector<NamedSample>& samples,
+                         const std::string& y_label, double reference_line) {
+  // Collect log10 range across all samples.
+  double lo = 1e300, hi = -1e300;
+  std::vector<LetterValues> lvs;
+  lvs.reserve(samples.size());
+  for (const auto& s : samples) {
+    lvs.push_back(letter_values(s.values));
+    if (!s.values.empty()) {
+      lo = std::min(lo, lvs.back().min);
+      hi = std::max(hi, lvs.back().max);
+    }
+  }
+  if (lo > hi) return "(no data)\n";
+  lo = std::max(lo, 1e-12);
+  hi = std::max(hi, lo * 1.0001);
+  const double llo = std::floor(std::log10(lo));
+  const double lhi = std::ceil(std::log10(hi));
+  constexpr int kRows = 21;
+  const int kCol = 9;  // characters per category column
+
+  auto row_of = [&](double v) {
+    const double t =
+        (std::log10(std::max(v, 1e-12)) - llo) / std::max(lhi - llo, 1e-9);
+    return kRows - 1 -
+           std::clamp(static_cast<int>(t * (kRows - 1) + 0.5), 0, kRows - 1);
+  };
+
+  std::vector<std::string> canvas(
+      kRows, std::string(8 + samples.size() * kCol, ' '));
+  // y-axis tick labels on decades.
+  for (int d = static_cast<int>(llo); d <= static_cast<int>(lhi); ++d) {
+    const int r = row_of(std::pow(10.0, d));
+    std::ostringstream tick;
+    tick << "1e" << d;
+    std::string t = tick.str();
+    canvas[r].replace(0, std::min<std::size_t>(t.size(), 7), t);
+  }
+  if (reference_line > 0) {
+    const int r = row_of(reference_line);
+    for (std::size_t c = 8; c < canvas[r].size(); ++c) {
+      if (canvas[r][c] == ' ') canvas[r][c] = '-';
+    }
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& lv = lvs[i];
+    if (lv.count == 0) continue;
+    const std::size_t c0 = 8 + i * kCol;
+    auto put = [&](int row, int col_off, char ch) {
+      canvas[row][c0 + col_off] = ch;
+    };
+    // Boxes: deeper letter values are narrower.
+    const int depth = static_cast<int>(lv.lower.size());
+    for (int d = 0; d < depth; ++d) {
+      const int half = std::max(1, 3 - d);
+      const int r_lo = row_of(lv.lower[d]);
+      const int r_hi = row_of(lv.upper[d]);
+      for (int r = std::min(r_lo, r_hi); r <= std::max(r_lo, r_hi); ++r) {
+        for (int k = -half; k <= half; ++k) put(r, 3 + k, '#');
+      }
+    }
+    const int rm = row_of(lv.median);
+    for (int k = -3; k <= 3; ++k) put(rm, 3 + k, '=');
+    for (double o : lv.outliers) put(row_of(o), 3, 'o');
+  }
+  std::ostringstream out;
+  out << "  " << y_label << " (log scale; '=' median, '#' letter-value boxes,"
+      << " 'o' outliers, '-' ratio=" << fmt(reference_line) << ")\n";
+  for (const auto& row : canvas) out << row << '\n';
+  out << std::string(8, ' ');
+  for (const auto& s : samples) {
+    std::string label = s.label.substr(0, kCol - 1);
+    out << std::left << std::setw(kCol) << label;
+  }
+  out << '\n';
+  return out.str();
+}
+
+std::string render_summary_table(const std::vector<NamedSample>& samples) {
+  std::ostringstream out;
+  out << std::left << std::setw(14) << "series" << std::right << std::setw(7)
+      << "n" << std::setw(11) << "min" << std::setw(11) << "q1"
+      << std::setw(11) << "median" << std::setw(11) << "q3" << std::setw(11)
+      << "max" << std::setw(11) << "geomean" << '\n';
+  for (const auto& s : samples) {
+    std::vector<double> sorted = s.values;
+    std::sort(sorted.begin(), sorted.end());
+    out << std::left << std::setw(14) << s.label << std::right << std::setw(7)
+        << sorted.size();
+    if (sorted.empty()) {
+      out << "  (empty)\n";
+      continue;
+    }
+    out << std::setw(11) << fmt(sorted.front()) << std::setw(11)
+        << fmt(quantile(sorted, 0.25)) << std::setw(11)
+        << fmt(quantile(sorted, 0.5)) << std::setw(11)
+        << fmt(quantile(sorted, 0.75)) << std::setw(11) << fmt(sorted.back())
+        << std::setw(11) << fmt(geomean(sorted)) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace indigo::stats

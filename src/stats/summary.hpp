@@ -1,0 +1,62 @@
+// Distribution summaries used throughout the evaluation.
+//
+// The paper visualizes throughput-ratio distributions as boxen (letter-value)
+// plots (Section 4.5): the dataset is recursively halved and each half's
+// boundary quantile becomes a "letter value". We reproduce the same summary
+// numerically and as an ASCII rendering.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace indigo::stats {
+
+/// Linear-interpolated quantile of a sample, q in [0, 1].
+double quantile(std::span<const double> sorted, double q);
+
+double median(std::span<const double> data);
+double geomean(std::span<const double> data);
+double arithmetic_mean(std::span<const double> data);
+
+/// Pearson correlation coefficient of two equal-length samples; returns 0
+/// for degenerate (constant) inputs.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Letter-value summary of a sample (Hofmann, Wickham, Kafadar 2017), the
+/// statistic behind a boxen plot.
+struct LetterValues {
+  std::size_t count = 0;
+  double min = 0, max = 0;
+  double median = 0;
+  /// lower[0]/upper[0] are the fourths (quartiles), lower[1]/upper[1] the
+  /// eighths, and so on, until fewer than `stop_count` points remain in the
+  /// tail half.
+  std::vector<double> lower, upper;
+  /// Points beyond the outermost letter value (plotted as circles).
+  std::vector<double> outliers;
+};
+
+/// Computes letter values until a tail half would hold < stop_count points.
+LetterValues letter_values(std::vector<double> data,
+                           std::size_t stop_count = 4);
+
+/// One labelled sample inside a boxen chart (one x-axis category).
+struct NamedSample {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renders letter-value summaries of several samples side by side on a
+/// log10 y-axis, mirroring the paper's ratio figures (the dashed line at
+/// ratio 1.0 included). Returns a multi-line string.
+std::string render_boxen(const std::vector<NamedSample>& samples,
+                         const std::string& y_label = "ratio",
+                         double reference_line = 1.0);
+
+/// Renders one summary line per sample: n, min, quartiles, median, max,
+/// geometric mean. Handy in logs and EXPERIMENTS.md tables.
+std::string render_summary_table(const std::vector<NamedSample>& samples);
+
+}  // namespace indigo::stats

@@ -1,0 +1,76 @@
+// Atomic helpers shared by the OpenMP and C++-threads variants.
+//
+// C++ has no std::atomic fetch_min/fetch_max, so the suite's
+// read-modify-write style (paper Listing 5b) uses compare-exchange loops on
+// std::atomic_ref. The read-write style (Listing 5a) is a relaxed atomic
+// load followed by a conditional relaxed store, which is exactly the racy-
+// but-monotonic pattern the paper describes.
+#pragma once
+
+#include <atomic>
+
+namespace indigo {
+
+/// atomicMin: stores min(*target, v); returns the previous value.
+template <typename T>
+T atomic_fetch_min(T& target, T v) {
+  std::atomic_ref<T> ref(target);
+  T old = ref.load(std::memory_order_relaxed);
+  while (v < old &&
+         !ref.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+  }
+  return old;
+}
+
+/// atomicMax: stores max(*target, v); returns the previous value.
+template <typename T>
+T atomic_fetch_max(T& target, T v) {
+  std::atomic_ref<T> ref(target);
+  T old = ref.load(std::memory_order_relaxed);
+  while (v > old &&
+         !ref.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+  }
+  return old;
+}
+
+template <typename T>
+T atomic_load_relaxed(const T& target) {
+  return std::atomic_ref<const T>(target).load(std::memory_order_relaxed);
+}
+
+template <typename T>
+void atomic_store_relaxed(T& target, T v) {
+  std::atomic_ref<T>(target).store(v, std::memory_order_relaxed);
+}
+
+template <typename T>
+T atomic_fetch_add_relaxed(T& target, T v) {
+  return std::atomic_ref<T>(target).fetch_add(v, std::memory_order_relaxed);
+}
+
+/// Floating-point atomic add via compare-exchange (no fetch_add for floats
+/// until C++26); used by the push-style PR codes.
+inline void atomic_add_float(float& target, float v) {
+  std::atomic_ref<float> ref(target);
+  float old = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(old, old + v,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+/// Double-precision atomic add; used by the atomic-reduction style.
+inline void atomic_add_double(double& target, double v) {
+  std::atomic_ref<double> ref(target);
+  double old = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(old, old + v,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+/// 64-bit atomic add returning nothing; used by the TC count reduction.
+template <typename T>
+void atomic_add(T& target, T v) {
+  std::atomic_ref<T>(target).fetch_add(v, std::memory_order_relaxed);
+}
+
+}  // namespace indigo

@@ -1,0 +1,37 @@
+// Blocked and cyclic iteration-space partitioning for the C++-threads
+// variants (paper Listing 13). OpenMP variants use schedule clauses instead.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/styles.hpp"
+
+namespace indigo {
+
+/// Contiguous chunk [begin, end) of an n-iteration loop for thread `tid`
+/// out of `nthreads` (paper Listing 13a).
+constexpr std::pair<std::uint64_t, std::uint64_t> blocked_range(
+    int tid, int nthreads, std::uint64_t n) {
+  const auto t = static_cast<std::uint64_t>(tid);
+  const auto k = static_cast<std::uint64_t>(nthreads);
+  return {t * n / k, (t + 1) * n / k};
+}
+
+/// Runs body(i) over 0..n-1 with the requested C++ schedule: blocked gives
+/// each thread one contiguous chunk, cyclic strides round-robin
+/// (paper Listing 13b).
+template <CppSched S, typename Body>
+void scheduled_loop(int tid, int nthreads, std::uint64_t n, Body&& body) {
+  if constexpr (S == CppSched::Blocked) {
+    const auto [beg, end] = blocked_range(tid, nthreads, n);
+    for (std::uint64_t i = beg; i < end; ++i) body(i);
+  } else {
+    for (std::uint64_t i = static_cast<std::uint64_t>(tid); i < n;
+         i += static_cast<std::uint64_t>(nthreads)) {
+      body(i);
+    }
+  }
+}
+
+}  // namespace indigo

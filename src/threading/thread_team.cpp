@@ -1,0 +1,72 @@
+#include "threading/thread_team.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace indigo {
+
+int cpu_threads() {
+  if (const char* env = std::getenv("REPRO_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return std::min(v, 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2, static_cast<int>(std::min(hw, 8u)));
+}
+
+ThreadTeam::ThreadTeam(int num_threads) {
+  workers_.reserve(static_cast<std::size_t>(std::max(1, num_threads)));
+  for (int t = 0; t < std::max(1, num_threads); ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(int, int)>& fn) {
+  std::unique_lock lock(mu_);
+  job_ = &fn;
+  first_error_ = nullptr;
+  remaining_ = size();
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int, int)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(tid, size());
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace indigo

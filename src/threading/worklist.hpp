@@ -1,0 +1,54 @@
+// Shared worklist for the data-driven CPU variants (paper Listing 3).
+//
+// A fixed-capacity array with an atomic size cursor: push() is the paper's
+// `worklist[atomicAdd(&worklist_size, 1)] = v`. Deduplication (Listing 3b)
+// is the caller's job via an iteration-stamped `stat` array, because that
+// bookkeeping is part of the style under study, not of the container.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace indigo {
+
+class Worklist {
+ public:
+  /// Capacity must bound the pushes of one iteration; data-driven codes
+  /// with duplicates can push once per processed arc.
+  explicit Worklist(std::size_t capacity) : items_(capacity) {}
+
+  /// Concurrent push. Throws if the capacity is exceeded (a bug in the
+  /// caller's sizing, never expected at runtime).
+  void push(vid_t v) {
+    const std::size_t idx = size_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= items_.size()) {
+      throw std::length_error("Worklist capacity exceeded");
+    }
+    items_[idx] = v;
+  }
+
+  /// Single-threaded push used by hosts to seed the first iteration.
+  void push_seed(vid_t v) { push(v); }
+
+  [[nodiscard]] std::size_t size() const {
+    return std::min(size_.load(std::memory_order_relaxed), items_.size());
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] vid_t operator[](std::size_t i) const { return items_[i]; }
+  [[nodiscard]] std::span<const vid_t> view() const {
+    return {items_.data(), size()};
+  }
+
+  void clear() { size_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::vector<vid_t> items_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace indigo

@@ -1,0 +1,96 @@
+// Shared pieces of the variant kernel families.
+//
+// CC, BFS, and SSSP are all monotonic label-relaxation algorithms (the
+// paper illustrates every style on Bellman-Ford, Section 2); they differ
+// only in the initial label and the relaxation value, captured here as
+// Problem adapters. MIS, PR, and TC have their own kernels but share the
+// priority/beats helpers and constants defined here.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "algorithms/serial/serial.hpp"
+#include "core/registry.hpp"
+#include "core/runner.hpp"
+#include "core/styles.hpp"
+#include "core/validity.hpp"
+#include "graph/csr.hpp"
+
+namespace indigo::variants {
+
+// --- relaxation problem adapters (CC / BFS / SSSP) -------------------------
+
+/// Single-source shortest path: dist[u] = min(dist[u], dist[v] + w(v,u)).
+struct SsspProblem {
+  static constexpr Algorithm kAlgo = Algorithm::SSSP;
+  static constexpr std::uint32_t init(vid_t v, vid_t source) {
+    return v == source ? 0 : kInfDist;
+  }
+  static constexpr std::uint32_t relax(std::uint32_t val, weight_t w) {
+    return val + w;
+  }
+};
+
+/// Breadth-first search = SSSP with unit weights.
+struct BfsProblem {
+  static constexpr Algorithm kAlgo = Algorithm::BFS;
+  static constexpr std::uint32_t init(vid_t v, vid_t source) {
+    return v == source ? 0 : kInfDist;
+  }
+  static constexpr std::uint32_t relax(std::uint32_t val, weight_t) {
+    return val + 1;
+  }
+};
+
+/// Connected components by min-label propagation: label[u] =
+/// min(label[u], label[v]). Every vertex is its own source.
+struct CcProblem {
+  static constexpr Algorithm kAlgo = Algorithm::CC;
+  static constexpr std::uint32_t init(vid_t v, vid_t /*source*/) { return v; }
+  static constexpr std::uint32_t relax(std::uint32_t val, weight_t) {
+    return val;
+  }
+};
+
+/// CC is seeded everywhere; BFS/SSSP only at the source. Worklist codes use
+/// this to build their initial frontier, topology codes to skip the
+/// unreached-vertex guard.
+template <typename Problem>
+constexpr bool seeds_everywhere() {
+  return Problem::kAlgo == Algorithm::CC;
+}
+
+// --- MIS helpers -----------------------------------------------------------
+
+/// Vertex states used by all MIS variants.
+inline constexpr std::uint32_t kMisUndecided = 0;
+inline constexpr std::uint32_t kMisIn = 1;
+inline constexpr std::uint32_t kMisOut = 2;
+
+/// Priority comparison shared with the serial reference: the parallel
+/// rounds compute the unique greedy-by-priority MIS.
+inline bool mis_beats(vid_t a, vid_t b) {
+  const auto pa = serial::mis_priority(a), pb = serial::mis_priority(b);
+  return pa != pb ? pa > pb : a < b;
+}
+
+// --- PageRank constants ------------------------------------------------
+
+inline constexpr double kPrDamping = 0.85;
+
+// --- compile-time style enumeration ----------------------------------------
+
+/// Invokes f.operator()<V>() for every listed value; the building block of
+/// the per-family style enumerations (the suite's "code generator").
+template <auto... Vals, typename F>
+void for_values(F&& f) {
+  (f.template operator()<Vals>(), ...);
+}
+
+/// Worklist capacity bound: one push per arc plus per-thread slack.
+inline std::size_t worklist_capacity(const Graph& g) {
+  return static_cast<std::size_t>(g.num_edges()) + g.num_vertices() + 1024;
+}
+
+}  // namespace indigo::variants

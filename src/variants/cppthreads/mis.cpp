@@ -1,0 +1,178 @@
+// C++-threads maximal-independent-set variants. See the OpenMP counterpart
+// for the algorithm notes; this family uses std::atomic_ref operations and
+// blocked/cyclic scheduling instead of pragmas and schedule clauses.
+#include <stdexcept>
+#include <vector>
+
+#include "variants/cppthreads/relax.hpp"
+
+namespace indigo::variants::cpp {
+namespace {
+
+template <StyleConfig C>
+RunResult mis_run(const Graph& g, const RunOptions& opts) {
+  constexpr bool kData = C.drive != Drive::Topology;
+  constexpr bool kEdge = C.flow == Flow::Edge;
+  constexpr bool kPull = C.dir == Direction::Pull;
+  constexpr bool kDet = C.det == Determinism::Det;
+
+  TeamRef team_ref(opts);
+  ThreadTeam& team = team_ref.get();
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+
+  std::vector<std::uint32_t> st_a(n, kMisUndecided), st_b;
+  std::uint32_t* cur = st_a.data();
+  std::uint32_t* nxt = cur;
+  if constexpr (kDet) {
+    st_b = st_a;
+    nxt = st_b.data();
+  }
+
+  const eid_t* row = g.row_index().data();
+  const vid_t* col = g.col_index().data();
+  const vid_t* src = g.src_list().data();
+
+  std::vector<std::uint32_t> blocked;
+  if constexpr (kEdge) blocked.assign(n, 0);
+
+  std::vector<std::uint32_t> wl_a, wl_b, stat;
+  std::uint64_t in_size = 0, out_size = 0;
+  std::uint32_t* wl_in = nullptr;
+  std::uint32_t* wl_out = nullptr;
+  if constexpr (kData) {
+    wl_a.resize(n);
+    wl_b.resize(n);
+    wl_in = wl_a.data();
+    wl_out = wl_b.data();
+    stat.assign(n, 0);
+    cpp_for<C.csched>(team, n, [&](std::uint64_t v) {
+      wl_in[v] = static_cast<std::uint32_t>(v);
+    });
+    in_size = n;
+  }
+
+  std::uint32_t changed = 0;
+  std::uint32_t itr = 0;
+  bool converged = true;
+
+  auto decide_vertex = [&](vid_t v) -> bool {
+    if (atomic_load_relaxed(cur[v]) != kMisUndecided) return false;
+    bool has_in = false, is_blocked = false;
+    for (eid_t e = row[v]; e < row[v + 1]; ++e) {
+      const vid_t u = col[e];
+      const std::uint32_t su = atomic_load_relaxed(cur[u]);
+      if (su == kMisIn) {
+        has_in = true;
+        break;
+      }
+      if (su != kMisOut && mis_beats(u, v)) is_blocked = true;
+    }
+    if (has_in) {
+      atomic_store_relaxed(nxt[v], kMisOut);
+      atomic_store_relaxed(changed, 1u);
+      return false;
+    }
+    if (is_blocked) return true;
+    atomic_store_relaxed(nxt[v], kMisIn);
+    atomic_store_relaxed(changed, 1u);
+    if constexpr (!kPull) {
+      for (eid_t e = row[v]; e < row[v + 1]; ++e) {
+        atomic_store_relaxed(nxt[col[e]], kMisOut);
+      }
+    }
+    return false;
+  };
+
+  while (true) {
+    ++itr;
+    if (itr > opts.max_iterations) {
+      converged = false;
+      break;
+    }
+    changed = 0;
+    if constexpr (kDet) {
+      cpp_for<C.csched>(team, n, [&](std::uint64_t v) { nxt[v] = cur[v]; });
+    }
+    if constexpr (kEdge) {
+      cpp_for<C.csched>(team, m, [&](std::uint64_t ei) {
+        const auto e = static_cast<eid_t>(ei);
+        const vid_t from = kPull ? col[e] : src[e];
+        const vid_t to = kPull ? src[e] : col[e];
+        const std::uint32_t sf = atomic_load_relaxed(cur[from]);
+        if (atomic_load_relaxed(cur[to]) != kMisUndecided) return;
+        if (sf == kMisIn) {
+          atomic_store_relaxed(nxt[to], kMisOut);
+          atomic_store_relaxed(changed, 1u);
+        } else if (sf != kMisOut && mis_beats(from, to)) {
+          atomic_store_relaxed(blocked[to], itr);
+        }
+      });
+      cpp_for<C.csched>(team, n, [&](std::uint64_t vi) {
+        const auto v = static_cast<vid_t>(vi);
+        if (atomic_load_relaxed(cur[v]) != kMisUndecided) return;
+        if (atomic_load_relaxed(nxt[v]) != kMisUndecided) return;
+        if (atomic_load_relaxed(blocked[v]) == itr) return;
+        atomic_store_relaxed(nxt[v], kMisIn);
+        atomic_store_relaxed(changed, 1u);
+      });
+    } else if constexpr (kData) {
+      if (in_size == 0) break;
+      out_size = 0;
+      cpp_for<C.csched>(team, in_size, [&](std::uint64_t i) {
+        const vid_t v = wl_in[i];
+        if (!decide_vertex(v)) return;
+        if (atomic_fetch_max(stat[v], itr) == itr) return;
+        const std::uint64_t idx =
+            atomic_fetch_add_relaxed(out_size, std::uint64_t{1});
+        wl_out[idx] = v;
+      });
+      std::swap(wl_in, wl_out);
+      in_size = out_size;
+      if constexpr (kDet) std::swap(cur, nxt);
+      continue;
+    } else {
+      cpp_for<C.csched>(team, n, [&](std::uint64_t v) {
+        decide_vertex(static_cast<vid_t>(v));
+      });
+    }
+    if constexpr (!kData) {
+      if constexpr (kDet) std::swap(cur, nxt);
+      if (changed == 0) break;
+    }
+  }
+
+  RunResult result;
+  result.iterations = itr;
+  result.converged = converged;
+  result.output.labels.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    result.output.labels[v] = cur[v] == kMisIn ? 1 : 0;
+  }
+  return result;
+}
+
+}  // namespace
+
+void register_cpp_mis() {
+  for_values<Flow::Vertex, Flow::Edge>([&]<Flow FL>() {
+    for_values<Drive::Topology, Drive::DataNoDup>([&]<Drive DR>() {
+      for_values<Direction::Push, Direction::Pull>([&]<Direction DI>() {
+        for_values<Determinism::NonDet, Determinism::Det>([&]<Determinism DE>() {
+          for_values<CppSched::Blocked, CppSched::Cyclic>([&]<CppSched CS>() {
+            constexpr StyleConfig kCfg{.flow = FL, .drive = DR, .dir = DI,
+                                       .det = DE, .csched = CS};
+            if constexpr (is_valid(Model::CppThreads, Algorithm::MIS, kCfg)) {
+              Registry::instance().add(Variant{
+                  Model::CppThreads, Algorithm::MIS, kCfg,
+                  program_name(Model::CppThreads, Algorithm::MIS, kCfg),
+                  &mis_run<kCfg>});
+            }
+          });
+        });
+      });
+    });
+  });
+}
+
+}  // namespace indigo::variants::cpp

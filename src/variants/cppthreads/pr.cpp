@@ -1,0 +1,136 @@
+// C++-threads PageRank variants. Same study axes as the OpenMP family; the
+// three CPU reduction styles map to C++ primitives: "atomic" is a CAS add
+// on a shared double, "critical" takes a std::mutex per contribution, and
+// "clause" is the idiomatic C++ equivalent of OpenMP's reduction clause
+// (per-thread partials combined after the join).
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "variants/cppthreads/relax.hpp"
+
+namespace indigo::variants::cpp {
+namespace {
+
+/// Parallel loop folding per-item doubles into a sum with the selected
+/// reduction style (paper Listing 11, C++ flavor).
+template <CppSched S, CpuReduction R, typename Body>
+double cpp_reduce_for(ThreadTeam& team, std::uint64_t n, Body&& body) {
+  double sum = 0.0;
+  if constexpr (R == CpuReduction::Clause) {
+    std::vector<double> partials(static_cast<std::size_t>(team.size()), 0.0);
+    team.run([&](int tid, int nthreads) {
+      double local = 0.0;
+      scheduled_loop<S>(tid, nthreads, n,
+                        [&](std::uint64_t i) { local += body(i); });
+      partials[static_cast<std::size_t>(tid)] = local;
+    });
+    for (double p : partials) sum += p;
+  } else if constexpr (R == CpuReduction::Atomic) {
+    cpp_for<S>(team, n,
+               [&](std::uint64_t i) { atomic_add_double(sum, body(i)); });
+  } else {
+    std::mutex mu;
+    cpp_for<S>(team, n, [&](std::uint64_t i) {
+      const double val = body(i);
+      std::lock_guard lock(mu);
+      sum += val;
+    });
+  }
+  return sum;
+}
+
+template <StyleConfig C>
+RunResult pr_run(const Graph& g, const RunOptions& opts) {
+  constexpr bool kPush = C.dir == Direction::Push;
+  constexpr bool kDet = C.det == Determinism::Det;
+
+  TeamRef team_ref(opts);
+  ThreadTeam& team = team_ref.get();
+  const vid_t n = g.num_vertices();
+  if (n == 0) return RunResult{};
+  const eid_t* row = g.row_index().data();
+  const vid_t* col = g.col_index().data();
+
+  const float base = static_cast<float>((1.0 - kPrDamping) / n);
+  std::vector<float> rank_a(n, 1.0f / static_cast<float>(n)), rank_b;
+  float* cur = rank_a.data();
+  float* nxt = cur;
+  if constexpr (kDet) {
+    rank_b = rank_a;
+    nxt = rank_b.data();
+  }
+
+  std::uint64_t itr = 0;
+  bool converged = false;
+  while (itr < opts.max_iterations) {
+    ++itr;
+    double residual = 0.0;
+    if constexpr (kPush) {
+      cpp_for<C.csched>(team, n, [&](std::uint64_t v) { nxt[v] = base; });
+      cpp_for<C.csched>(team, n, [&](std::uint64_t v) {
+        const eid_t beg = row[v], end = row[v + 1];
+        if (beg == end) return;
+        const float share = static_cast<float>(kPrDamping) * cur[v] /
+                            static_cast<float>(end - beg);
+        for (eid_t e = beg; e < end; ++e) {
+          atomic_add_float(nxt[col[e]], share);
+        }
+      });
+      residual = cpp_reduce_for<C.csched, C.cred>(
+          team, n, [&](std::uint64_t v) {
+            return std::abs(static_cast<double>(nxt[v]) - cur[v]);
+          });
+    } else {
+      residual = cpp_reduce_for<C.csched, C.cred>(
+          team, n, [&](std::uint64_t v) {
+            double sum = 0.0;
+            for (eid_t e = row[v]; e < row[v + 1]; ++e) {
+              const vid_t u = col[e];
+              sum += static_cast<double>(cur[u]) /
+                     static_cast<double>(row[u + 1] - row[u]);
+            }
+            const auto fresh = static_cast<float>(base + kPrDamping * sum);
+            const double delta =
+                std::abs(static_cast<double>(fresh) - cur[v]);
+            nxt[v] = fresh;
+            return delta;
+          });
+    }
+    if constexpr (kDet) std::swap(cur, nxt);
+    if (residual < opts.pr_epsilon) {
+      converged = true;
+      break;
+    }
+  }
+
+  RunResult result;
+  result.iterations = itr;
+  result.converged = converged;
+  result.output.ranks.assign(cur, cur + n);
+  return result;
+}
+
+}  // namespace
+
+void register_cpp_pr() {
+  for_values<Direction::Push, Direction::Pull>([&]<Direction DI>() {
+    for_values<Determinism::NonDet, Determinism::Det>([&]<Determinism DE>() {
+      for_values<CpuReduction::Atomic, CpuReduction::Critical,
+                 CpuReduction::Clause>([&]<CpuReduction CR>() {
+        for_values<CppSched::Blocked, CppSched::Cyclic>([&]<CppSched CS>() {
+          constexpr StyleConfig kCfg{.dir = DI, .det = DE, .cred = CR,
+                                     .csched = CS};
+          if constexpr (is_valid(Model::CppThreads, Algorithm::PR, kCfg)) {
+            Registry::instance().add(Variant{
+                Model::CppThreads, Algorithm::PR, kCfg,
+                program_name(Model::CppThreads, Algorithm::PR, kCfg),
+                &pr_run<kCfg>});
+          }
+        });
+      });
+    });
+  });
+}
+
+}  // namespace indigo::variants::cpp

@@ -1,0 +1,266 @@
+// C++-threads kernel family for the label-relaxation problems (CC, BFS,
+// SSSP). Same style space as the OpenMP family except scheduling: C++
+// codes choose between blocked and cyclic iteration assignment (paper
+// Listing 13) instead of OpenMP schedule clauses. Unlike OpenMP, C++ has
+// fast atomic min/max via compare-exchange, which the paper calls out as
+// the reason the two CPU models behave differently (Section 5.3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "threading/atomics.hpp"
+#include "threading/schedule.hpp"
+#include "threading/thread_team.hpp"
+#include "variants/common.hpp"
+
+namespace indigo::variants::cpp {
+
+/// Runs body(i) for i in [0, n) across the team with the style's schedule.
+template <CppSched S, typename Body>
+void cpp_for(ThreadTeam& team, std::uint64_t n, Body&& body) {
+  team.run([&](int tid, int nthreads) {
+    scheduled_loop<S>(tid, nthreads, n, body);
+  });
+}
+
+/// Team provided by the caller (reused across runs) or a fresh one.
+class TeamRef {
+ public:
+  explicit TeamRef(const RunOptions& opts) {
+    if (opts.team != nullptr) {
+      team_ = opts.team;
+    } else {
+      owned_ = std::make_unique<ThreadTeam>(
+          opts.num_threads > 0 ? opts.num_threads : cpu_threads());
+      team_ = owned_.get();
+    }
+  }
+  ThreadTeam& get() { return *team_; }
+
+ private:
+  ThreadTeam* team_ = nullptr;
+  std::unique_ptr<ThreadTeam> owned_;
+};
+
+template <typename Problem, StyleConfig C>
+RunResult relax_run(const Graph& g, const RunOptions& opts) {
+  constexpr bool kData = C.drive != Drive::Topology;
+  constexpr bool kNoDup = C.drive == Drive::DataNoDup;
+  constexpr bool kEdge = C.flow == Flow::Edge;
+  constexpr bool kPull = C.dir == Direction::Pull;
+  constexpr bool kDet = C.det == Determinism::Det;
+  constexpr bool kRw = C.upd == Update::ReadWrite;
+
+  TeamRef team_ref(opts);
+  ThreadTeam& team = team_ref.get();
+
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+  const vid_t source = opts.source;
+
+  std::vector<std::uint32_t> val_a(n), val_b;
+  std::uint32_t* cur = val_a.data();
+  std::uint32_t* nxt = cur;
+  cpp_for<C.csched>(team, n, [&](std::uint64_t v) {
+    val_a[v] = Problem::init(static_cast<vid_t>(v), source);
+  });
+  if constexpr (kDet) {
+    val_b = val_a;
+    nxt = val_b.data();
+  }
+
+  std::vector<std::uint32_t> wl_a, wl_b, stat;
+  std::uint64_t in_size = 0;
+  std::uint64_t out_size = 0;
+  std::uint32_t* wl_in = nullptr;
+  std::uint32_t* wl_out = nullptr;
+  if constexpr (kData) {
+    const std::size_t cap = 2 * static_cast<std::size_t>(m) + 2 * n + 1024;
+    wl_a.resize(cap);
+    wl_b.resize(cap);
+    wl_in = wl_a.data();
+    wl_out = wl_b.data();
+    if constexpr (kNoDup) stat.assign(n, 0);
+    if constexpr (seeds_everywhere<Problem>()) {
+      const std::uint64_t items = kEdge ? m : n;
+      cpp_for<C.csched>(team, items, [&](std::uint64_t i) {
+        wl_in[i] = static_cast<std::uint32_t>(i);
+      });
+      in_size = items;
+    } else {
+      if constexpr (kEdge) {
+        for (eid_t e = g.begin_edge(source); e < g.end_edge(source); ++e) {
+          wl_in[in_size++] = e;
+        }
+      } else {
+        wl_in[in_size++] = source;
+      }
+    }
+  }
+
+  const std::size_t wl_cap = wl_a.size();
+  const eid_t* row = g.row_index().data();
+  const vid_t* col = g.col_index().data();
+  const vid_t* src = g.src_list().data();
+  const weight_t* wts = g.weights().data();
+
+  std::uint32_t changed = 0;
+  std::uint32_t overflow = 0;
+  std::uint32_t itr = 0;
+  bool converged = true;
+
+  auto update = [&](std::uint32_t* arr, vid_t u, std::uint32_t nd) -> bool {
+    if constexpr (kRw) {
+      const std::uint32_t old = atomic_load_relaxed(arr[u]);  // Listing 5a
+      if (nd < old) {
+        atomic_store_relaxed(arr[u], nd);
+        return true;
+      }
+      return false;
+    } else {
+      return nd < atomic_fetch_min(arr[u], nd);  // Listing 5b, CAS loop
+    }
+  };
+
+  auto on_improve = [&](vid_t u) {
+    if constexpr (!kData) {
+      atomic_store_relaxed(changed, 1u);
+    } else {
+      if constexpr (kNoDup) {
+        if (atomic_fetch_max(stat[u], itr) == itr) return;  // Listing 3b
+      }
+      if constexpr (kEdge) {
+        const std::uint64_t deg = row[u + 1] - row[u];
+        const std::uint64_t base = atomic_fetch_add_relaxed(out_size, deg);
+        if (base + deg > wl_cap) {
+          atomic_store_relaxed(overflow, 1u);
+          return;
+        }
+        for (std::uint64_t k = 0; k < deg; ++k) {
+          wl_out[base + k] = static_cast<std::uint32_t>(row[u] + k);
+        }
+      } else {
+        const std::uint64_t idx =
+            atomic_fetch_add_relaxed(out_size, std::uint64_t{1});
+        if (idx >= wl_cap) {
+          atomic_store_relaxed(overflow, 1u);
+          return;
+        }
+        wl_out[idx] = u;  // Listing 3a
+      }
+    }
+  };
+
+  auto process = [&](std::uint64_t item) {
+    if constexpr (kEdge) {
+      const auto e = static_cast<eid_t>(item);
+      const vid_t v = src[e], u = col[e];
+      if constexpr (kPull) {
+        const std::uint32_t du = atomic_load_relaxed(cur[u]);
+        if (du == kInfDist) return;
+        if (update(nxt, v, Problem::relax(du, wts[e]))) on_improve(v);
+      } else {
+        const std::uint32_t dv = atomic_load_relaxed(cur[v]);
+        if (dv == kInfDist) return;
+        if (update(nxt, u, Problem::relax(dv, wts[e]))) on_improve(u);
+      }
+    } else {
+      const auto v = static_cast<vid_t>(item);
+      const eid_t beg = row[v], end = row[v + 1];
+      if constexpr (kPull) {
+        bool improved = false;
+        for (eid_t e = beg; e < end; ++e) {
+          const std::uint32_t du = atomic_load_relaxed(cur[col[e]]);
+          if (du == kInfDist) continue;
+          improved |= update(nxt, v, Problem::relax(du, wts[e]));
+        }
+        if (improved) on_improve(v);
+      } else {
+        const std::uint32_t dv = atomic_load_relaxed(cur[v]);
+        if (dv == kInfDist) return;
+        for (eid_t e = beg; e < end; ++e) {
+          const vid_t u = col[e];
+          if (update(nxt, u, Problem::relax(dv, wts[e]))) on_improve(u);
+        }
+      }
+    }
+  };
+
+  while (true) {
+    ++itr;
+    if (itr > opts.max_iterations) {
+      converged = false;
+      break;
+    }
+    if constexpr (kDet) {
+      cpp_for<C.csched>(team, n, [&](std::uint64_t v) { nxt[v] = cur[v]; });
+    }
+    if constexpr (kData) {
+      if (in_size == 0) break;
+      out_size = 0;
+      cpp_for<C.csched>(team, in_size,
+                        [&](std::uint64_t i) { process(wl_in[i]); });
+      if (overflow != 0) {
+        // See the OpenMP family: recover dropped pushes with a full sweep.
+        overflow = 0;
+        const std::uint64_t items = kEdge ? m : n;
+        cpp_for<C.csched>(team, items, [&](std::uint64_t i) {
+          wl_out[i] = static_cast<std::uint32_t>(i);
+        });
+        out_size = items;
+      }
+      std::swap(wl_in, wl_out);
+      in_size = out_size;
+      if constexpr (kDet) std::swap(cur, nxt);
+    } else {
+      changed = 0;
+      cpp_for<C.csched>(team, kEdge ? m : n, process);
+      if (changed == 0) break;
+      if constexpr (kDet) std::swap(cur, nxt);
+    }
+  }
+
+  RunResult result;
+  result.iterations = itr;
+  result.converged = converged;
+  result.output.labels.assign(cur, cur + n);
+  return result;
+}
+
+/// Instantiates and registers every valid C++-threads style combination of
+/// the given relaxation problem.
+template <typename Problem>
+void register_relax_variants() {
+  for_values<Flow::Vertex, Flow::Edge>([&]<Flow FL>() {
+    for_values<Drive::Topology, Drive::DataDup, Drive::DataNoDup>(
+        [&]<Drive DR>() {
+          for_values<Direction::Push, Direction::Pull>([&]<Direction DI>() {
+            for_values<Update::ReadWrite, Update::ReadModifyWrite>(
+                [&]<Update UP>() {
+                  for_values<Determinism::NonDet, Determinism::Det>(
+                      [&]<Determinism DE>() {
+                        for_values<CppSched::Blocked, CppSched::Cyclic>(
+                            [&]<CppSched CS>() {
+                              constexpr StyleConfig kCfg{
+                                  .flow = FL, .drive = DR, .dir = DI,
+                                  .upd = UP, .det = DE, .csched = CS};
+                              if constexpr (is_valid(Model::CppThreads,
+                                                     Problem::kAlgo, kCfg)) {
+                                Registry::instance().add(Variant{
+                                    Model::CppThreads, Problem::kAlgo, kCfg,
+                                    program_name(Model::CppThreads,
+                                                 Problem::kAlgo, kCfg),
+                                    &relax_run<Problem, kCfg>});
+                              }
+                            });
+                      });
+                });
+          });
+        });
+  });
+}
+
+}  // namespace indigo::variants::cpp

@@ -1,0 +1,8 @@
+// Registers the C++-threads breadth-first-search relaxation variants.
+#include "variants/cppthreads/relax.hpp"
+
+namespace indigo::variants::cpp {
+
+void register_cpp_bfs() { register_relax_variants<BfsProblem>(); }
+
+}  // namespace indigo::variants::cpp

@@ -1,0 +1,8 @@
+// Registers the C++-threads connected-components relaxation variants.
+#include "variants/cppthreads/relax.hpp"
+
+namespace indigo::variants::cpp {
+
+void register_cpp_cc() { register_relax_variants<CcProblem>(); }
+
+}  // namespace indigo::variants::cpp

@@ -1,0 +1,8 @@
+// Registers the C++-threads single-source-shortest-path relaxation variants.
+#include "variants/cppthreads/relax.hpp"
+
+namespace indigo::variants::cpp {
+
+void register_cpp_sssp() { register_relax_variants<SsspProblem>(); }
+
+}  // namespace indigo::variants::cpp

@@ -1,0 +1,110 @@
+// C++-threads triangle-counting variants. Mirrors the OpenMP family with
+// C++ reduction primitives and blocked/cyclic scheduling.
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "variants/cppthreads/relax.hpp"
+
+namespace indigo::variants::cpp {
+namespace {
+
+inline std::uint64_t count_common_after(const Graph& g, vid_t u, vid_t v) {
+  const auto nu = g.neighbors(u);
+  const auto nv = g.neighbors(v);
+  auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+  auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+  std::uint64_t c = 0;
+  while (iu != nu.end() && iv != nv.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      ++c;
+      ++iu;
+      ++iv;
+    }
+  }
+  return c;
+}
+
+template <StyleConfig C>
+RunResult tc_run(const Graph& g, const RunOptions& opts) {
+  constexpr bool kEdge = C.flow == Flow::Edge;
+
+  TeamRef team_ref(opts);
+  ThreadTeam& team = team_ref.get();
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+  const vid_t* col = g.col_index().data();
+  const vid_t* src = g.src_list().data();
+  const eid_t* row = g.row_index().data();
+
+  auto item_count = [&](std::uint64_t i) -> std::uint64_t {
+    if constexpr (kEdge) {
+      const auto e = static_cast<eid_t>(i);
+      const vid_t u = src[e], v = col[e];
+      return u < v ? count_common_after(g, u, v) : 0;
+    } else {
+      const auto u = static_cast<vid_t>(i);
+      std::uint64_t c = 0;
+      for (eid_t e = row[u]; e < row[u + 1]; ++e) {
+        const vid_t v = col[e];
+        if (v > u) c += count_common_after(g, u, v);
+      }
+      return c;
+    }
+  };
+
+  const std::uint64_t items = kEdge ? m : n;
+  std::uint64_t total = 0;
+  if constexpr (C.cred == CpuReduction::Clause) {
+    std::vector<std::uint64_t> partials(
+        static_cast<std::size_t>(team.size()), 0);
+    team.run([&](int tid, int nthreads) {
+      std::uint64_t local = 0;
+      scheduled_loop<C.csched>(tid, nthreads, items,
+                               [&](std::uint64_t i) { local += item_count(i); });
+      partials[static_cast<std::size_t>(tid)] = local;
+    });
+    for (std::uint64_t p : partials) total += p;
+  } else if constexpr (C.cred == CpuReduction::Atomic) {
+    cpp_for<C.csched>(team, items, [&](std::uint64_t i) {
+      atomic_add(total, item_count(i));
+    });
+  } else {
+    std::mutex mu;
+    cpp_for<C.csched>(team, items, [&](std::uint64_t i) {
+      const std::uint64_t c = item_count(i);
+      std::lock_guard lock(mu);
+      total += c;
+    });
+  }
+
+  RunResult result;
+  result.iterations = 1;
+  result.output.count = total;
+  return result;
+}
+
+}  // namespace
+
+void register_cpp_tc() {
+  for_values<Flow::Vertex, Flow::Edge>([&]<Flow FL>() {
+    for_values<CpuReduction::Atomic, CpuReduction::Critical,
+               CpuReduction::Clause>([&]<CpuReduction CR>() {
+      for_values<CppSched::Blocked, CppSched::Cyclic>([&]<CppSched CS>() {
+        constexpr StyleConfig kCfg{.flow = FL, .cred = CR, .csched = CS};
+        if constexpr (is_valid(Model::CppThreads, Algorithm::TC, kCfg)) {
+          Registry::instance().add(Variant{
+              Model::CppThreads, Algorithm::TC, kCfg,
+              program_name(Model::CppThreads, Algorithm::TC, kCfg),
+              &tc_run<kCfg>});
+        }
+      });
+    });
+  });
+}
+
+}  // namespace indigo::variants::cpp

@@ -1,0 +1,70 @@
+// OpenMP flavors of the suite's shared-memory operations.
+//
+// OpenMP (pre-5.1, as used by the paper with GCC 11) has no atomic min/max:
+// "max and min operations ... must be implemented with slow critical
+// sections in OpenMP but can be done with fast atomics in C++"
+// (paper Section 5.3.1). That asymmetry is intentional and load-bearing for
+// the study, so the OpenMP read-modify-write helpers here really use
+// `#pragma omp critical`, while read/write/add use `#pragma omp atomic`.
+#pragma once
+
+#include <cstdint>
+
+namespace indigo::variants::omp {
+
+inline std::uint32_t atomic_read(const std::uint32_t& x) {
+  std::uint32_t v;
+#pragma omp atomic read
+  v = x;
+  return v;
+}
+
+inline void atomic_write(std::uint32_t& x, std::uint32_t v) {
+#pragma omp atomic write
+  x = v;
+}
+
+/// atomicMin by critical section; returns the previous value.
+inline std::uint32_t critical_min(std::uint32_t& x, std::uint32_t v) {
+  std::uint32_t old;
+#pragma omp critical(indigo_rmw)
+  {
+    old = x;
+    if (v < old) x = v;
+  }
+  return old;
+}
+
+/// atomicMax by critical section; returns the previous value.
+inline std::uint32_t critical_max(std::uint32_t& x, std::uint32_t v) {
+  std::uint32_t old;
+#pragma omp critical(indigo_rmw)
+  {
+    old = x;
+    if (v > old) x = v;
+  }
+  return old;
+}
+
+/// atomicAdd with capture (worklist cursor); returns the previous value.
+inline std::uint64_t atomic_capture_add(std::uint64_t& x, std::uint64_t v) {
+  std::uint64_t old;
+#pragma omp atomic capture
+  {
+    old = x;
+    x += v;
+  }
+  return old;
+}
+
+inline void atomic_add_float(float& x, float v) {
+#pragma omp atomic
+  x += v;
+}
+
+inline void atomic_add_double(double& x, double v) {
+#pragma omp atomic
+  x += v;
+}
+
+}  // namespace indigo::variants::omp

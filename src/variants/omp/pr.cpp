@@ -1,0 +1,148 @@
+// OpenMP PageRank variants.
+//
+// All variants iterate damped PageRank (d = 0.85) to the same fixpoint
+// (L1 residual below opts.pr_epsilon). The studied styles are pull vs push
+// data flow (push only exists in the deterministic two-array form, paper
+// Section 5.6), deterministic vs in-place non-deterministic iteration, the
+// three CPU reduction styles for the per-iteration residual sum
+// (Listing 11), and loop scheduling. PR is vertex-based and topology-driven
+// only (Table 2).
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "variants/omp/relax.hpp"
+
+namespace indigo::variants::omp {
+namespace {
+
+/// Parallel loop whose body yields a double folded into a sum with the
+/// selected reduction style (paper Listing 11).
+template <OmpSched S, CpuReduction R, typename Body>
+double omp_reduce_for(std::uint64_t n, Body&& body) {
+  const auto ni = static_cast<std::int64_t>(n);
+  double sum = 0.0;
+  if constexpr (R == CpuReduction::Clause) {
+    if constexpr (S == OmpSched::Default) {
+#pragma omp parallel for reduction(+ : sum)
+      for (std::int64_t i = 0; i < ni; ++i) {
+        sum += body(static_cast<std::uint64_t>(i));
+      }
+    } else {
+#pragma omp parallel for schedule(dynamic) reduction(+ : sum)
+      for (std::int64_t i = 0; i < ni; ++i) {
+        sum += body(static_cast<std::uint64_t>(i));
+      }
+    }
+  } else {
+    omp_for<S>(n, [&](std::uint64_t i) {
+      const double val = body(i);
+      if constexpr (R == CpuReduction::Atomic) {
+#pragma omp atomic
+        sum += val;
+      } else {
+#pragma omp critical(indigo_red)
+        sum += val;
+      }
+    });
+  }
+  return sum;
+}
+
+template <StyleConfig C>
+RunResult pr_run(const Graph& g, const RunOptions& opts) {
+  constexpr bool kPush = C.dir == Direction::Push;
+  constexpr bool kDet = C.det == Determinism::Det;
+
+  omp_set_num_threads(opts.num_threads > 0 ? opts.num_threads
+                                           : cpu_threads());
+  const vid_t n = g.num_vertices();
+  if (n == 0) return RunResult{};
+  const eid_t* row = g.row_index().data();
+  const vid_t* col = g.col_index().data();
+
+  const float base = static_cast<float>((1.0 - kPrDamping) / n);
+  std::vector<float> rank_a(n, 1.0f / static_cast<float>(n)), rank_b;
+  float* cur = rank_a.data();
+  float* nxt = cur;
+  if constexpr (kDet) {
+    rank_b = rank_a;
+    nxt = rank_b.data();
+  }
+
+  std::uint64_t itr = 0;
+  bool converged = false;
+  while (itr < opts.max_iterations) {
+    ++itr;
+    double residual = 0.0;
+    if constexpr (kPush) {
+      // Scatter phase: everybody deposits its share into the next array.
+      omp_for<C.osched>(n, [&](std::uint64_t v) {
+        nxt[v] = base;
+      });
+      omp_for<C.osched>(n, [&](std::uint64_t v) {
+        const eid_t beg = row[v], end = row[v + 1];
+        if (beg == end) return;
+        const float share = static_cast<float>(kPrDamping) * cur[v] /
+                            static_cast<float>(end - beg);
+        for (eid_t e = beg; e < end; ++e) {
+          atomic_add_float(nxt[col[e]], share);
+        }
+      });
+      residual = omp_reduce_for<C.osched, C.cred>(n, [&](std::uint64_t v) {
+        return std::abs(static_cast<double>(nxt[v]) - cur[v]);
+      });
+    } else {
+      // Gather phase; residual accumulated with the style under study.
+      residual = omp_reduce_for<C.osched, C.cred>(n, [&](std::uint64_t v) {
+        double sum = 0.0;
+        for (eid_t e = row[v]; e < row[v + 1]; ++e) {
+          const vid_t u = col[e];
+          sum += static_cast<double>(cur[u]) /
+                 static_cast<double>(row[u + 1] - row[u]);
+        }
+        const auto fresh =
+            static_cast<float>(base + kPrDamping * sum);
+        const double delta = std::abs(static_cast<double>(fresh) - cur[v]);
+        nxt[v] = fresh;  // nxt aliases cur in the non-deterministic style
+        return delta;
+      });
+    }
+    if constexpr (kDet) std::swap(cur, nxt);
+    if (residual < opts.pr_epsilon) {
+      converged = true;
+      break;
+    }
+  }
+
+  RunResult result;
+  result.iterations = itr;
+  result.converged = converged;
+  result.output.ranks.assign(cur, cur + n);
+  return result;
+}
+
+}  // namespace
+
+void register_omp_pr() {
+  for_values<Direction::Push, Direction::Pull>([&]<Direction DI>() {
+    for_values<Determinism::NonDet, Determinism::Det>([&]<Determinism DE>() {
+      for_values<CpuReduction::Atomic, CpuReduction::Critical,
+                 CpuReduction::Clause>([&]<CpuReduction CR>() {
+        for_values<OmpSched::Default, OmpSched::Dynamic>([&]<OmpSched OS>() {
+          constexpr StyleConfig kCfg{.dir = DI, .det = DE, .cred = CR,
+                                     .osched = OS};
+          if constexpr (is_valid(Model::OpenMP, Algorithm::PR, kCfg)) {
+            Registry::instance().add(
+                Variant{Model::OpenMP, Algorithm::PR, kCfg,
+                        program_name(Model::OpenMP, Algorithm::PR, kCfg),
+                        &pr_run<kCfg>});
+          }
+        });
+      });
+    });
+  });
+}
+
+}  // namespace indigo::variants::omp

@@ -1,0 +1,8 @@
+// Registers the OpenMP breadth-first-search relaxation variants.
+#include "variants/omp/relax.hpp"
+
+namespace indigo::variants::omp {
+
+void register_omp_bfs() { register_relax_variants<BfsProblem>(); }
+
+}  // namespace indigo::variants::omp

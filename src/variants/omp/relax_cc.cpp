@@ -1,0 +1,8 @@
+// Registers the OpenMP connected-components relaxation variants.
+#include "variants/omp/relax.hpp"
+
+namespace indigo::variants::omp {
+
+void register_omp_cc() { register_relax_variants<CcProblem>(); }
+
+}  // namespace indigo::variants::omp

@@ -1,0 +1,8 @@
+// Registers the OpenMP single-source-shortest-path relaxation variants.
+#include "variants/omp/relax.hpp"
+
+namespace indigo::variants::omp {
+
+void register_omp_sssp() { register_relax_variants<SsspProblem>(); }
+
+}  // namespace indigo::variants::omp

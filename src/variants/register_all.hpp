@@ -1,0 +1,38 @@
+// Populates the global Registry with every program of the suite. Call once
+// (idempotent) before selecting variants; this is the analogue of running
+// the Indigo2 code generator over its full configuration.
+#pragma once
+
+namespace indigo::variants {
+
+namespace omp {
+void register_omp_cc();
+void register_omp_bfs();
+void register_omp_sssp();
+void register_omp_mis();
+void register_omp_pr();
+void register_omp_tc();
+}  // namespace omp
+
+namespace cpp {
+void register_cpp_cc();
+void register_cpp_bfs();
+void register_cpp_sssp();
+void register_cpp_mis();
+void register_cpp_pr();
+void register_cpp_tc();
+}  // namespace cpp
+
+namespace vc {
+void register_vcuda_cc();
+void register_vcuda_bfs();
+void register_vcuda_sssp();
+void register_vcuda_mis();
+void register_vcuda_pr();
+void register_vcuda_tc();
+}  // namespace vc
+
+/// Registers all variants of all models. Safe to call more than once.
+void register_all_variants();
+
+}  // namespace indigo::variants

@@ -1,0 +1,367 @@
+// Virtual-CUDA maximal-independent-set variants.
+//
+// Thread-granularity kernels decide a vertex per thread. Warp/block
+// granularity kernels follow the real CUDA shape: the group's lanes scan
+// the candidate's neighbourhood in strides, publishing "saw an In
+// neighbour"/"saw a live higher-priority neighbour" flags in shared memory,
+// a barrier separates the scan from the decision, the group leader decides,
+// and (push style) a final strided region knocks the neighbours out.
+// Edge-based MIS is a two-kernel-per-round pipeline (arc scan + vertex
+// decision), thread granularity only.
+#include <stdexcept>
+#include <vector>
+
+#include "variants/vcuda/vc_common.hpp"
+
+namespace indigo::variants::vc {
+namespace {
+
+template <StyleConfig C>
+RunResult mis_run(const Graph& g, const RunOptions& opts) {
+  constexpr bool kData = C.drive != Drive::Topology;
+  constexpr bool kEdge = C.flow == Flow::Edge;
+  constexpr bool kPull = C.dir == Direction::Pull;
+  constexpr bool kDet = C.det == Determinism::Det;
+  using O = Ops<C.alib>;
+
+  vcuda::Device dev(opts.device != nullptr ? *opts.device : default_device());
+  const vid_t n = g.num_vertices();
+  const eid_t m = g.num_edges();
+
+  std::vector<std::uint32_t> st_a(n, kMisUndecided), st_b;
+  auto row = dev.array(g.row_index());
+  auto col = dev.array(g.col_index());
+  auto srcl = dev.array(g.src_list());
+  auto cur = dev.array(std::span<std::uint32_t>(st_a));
+  auto nxt = cur;
+  if constexpr (kDet) {
+    st_b = st_a;
+    nxt = dev.array(std::span<std::uint32_t>(st_b));
+  }
+
+  std::vector<std::uint32_t> blocked_h;
+  vcuda::DeviceArray<std::uint32_t> blocked;
+  if constexpr (kEdge) {
+    blocked_h.assign(n, 0);
+    blocked = dev.array(std::span<std::uint32_t>(blocked_h));
+  }
+
+  std::vector<std::uint32_t> wl_a, wl_b, stat_h, size_h(1, 0), flag_h(1, 0);
+  vcuda::DeviceArray<std::uint32_t> wl_in, wl_out, stat;
+  auto wl_size = dev.array(std::span<std::uint32_t>(size_h));
+  auto changed = dev.array(std::span<std::uint32_t>(flag_h));
+  std::uint32_t in_size = 0;
+  if constexpr (kData) {
+    wl_a.resize(n);
+    wl_b.resize(n);
+    wl_in = dev.array(std::span<std::uint32_t>(wl_a));
+    wl_out = dev.array(std::span<std::uint32_t>(wl_b));
+    stat_h.assign(n, 0);
+    stat = dev.array(std::span<std::uint32_t>(stat_h));
+    const std::uint32_t grid = grid_for<Granularity::Thread, C.pers>(dev, n);
+    dev.launch(grid, kBD, [&](vcuda::Block& blk) {
+      blk.for_each_thread([&](vcuda::Thread& t) {
+        for_items<Granularity::Thread, C.pers>(
+            t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
+              wl_in.st(t, v, v);
+            });
+      });
+    });
+    in_size = n;
+  }
+
+  std::uint32_t itr = 0;
+  bool converged = true;
+  constexpr Granularity kGran = kEdge ? Granularity::Thread : C.gran;
+
+  while (true) {
+    ++itr;
+    if (itr > opts.max_iterations) {
+      converged = false;
+      break;
+    }
+    flag_h[0] = 0;
+    if constexpr (kDet) {
+      const std::uint32_t grid = grid_for<Granularity::Thread, C.pers>(dev, n);
+      dev.launch(grid, kBD, [&](vcuda::Block& blk) {
+        blk.for_each_thread([&](vcuda::Thread& t) {
+          for_items<Granularity::Thread, C.pers>(
+              t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
+                nxt.st(t, v, cur.ld(t, v));
+              });
+        });
+      });
+    }
+
+    if constexpr (kEdge) {
+      // Kernel 1 over arcs: In -> Out propagation and blocker stamps.
+      const std::uint32_t grid1 = grid_for<kGran, C.pers>(dev, m);
+      dev.launch(grid1, kBD, [&](vcuda::Block& blk) {
+        blk.for_each_thread([&](vcuda::Thread& t) {
+          for_items<kGran, C.pers>(
+              t, m, [&](std::uint32_t e, std::uint32_t, std::uint32_t) {
+                const vid_t a = srcl.ld(t, e), b = col.ld(t, e);
+                const vid_t from = kPull ? b : a;
+                const vid_t to = kPull ? a : b;
+                const std::uint32_t sf = O::ld(t, cur, from);
+                if (O::ld(t, cur, to) != kMisUndecided) return;
+                if (sf == kMisIn) {
+                  O::st(t, nxt, to, kMisOut);
+                  O::st(t, changed, 0, 1u);
+                } else if (sf != kMisOut && mis_beats(from, to)) {
+                  O::st(t, blocked, to, itr);
+                }
+              });
+        });
+      });
+      // Kernel 2 over vertices: unblocked survivors join.
+      const std::uint32_t grid2 = grid_for<Granularity::Thread, C.pers>(dev, n);
+      dev.launch(grid2, kBD, [&](vcuda::Block& blk) {
+        blk.for_each_thread([&](vcuda::Thread& t) {
+          for_items<Granularity::Thread, C.pers>(
+              t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
+                if (O::ld(t, cur, v) != kMisUndecided) return;
+                if (O::ld(t, nxt, v) != kMisUndecided) return;
+                if (O::ld(t, blocked, v) == itr) return;
+                O::st(t, nxt, v, kMisIn);
+                O::st(t, changed, 0, 1u);
+              });
+        });
+      });
+    } else if constexpr (kGran == Granularity::Thread) {
+      const std::uint32_t items = kData ? in_size : n;
+      if constexpr (kData) {
+        if (in_size == 0) break;
+        size_h[0] = 0;
+      }
+      const std::uint32_t grid = grid_for<kGran, C.pers>(dev, items);
+      dev.launch(grid, kBD, [&](vcuda::Block& blk) {
+        blk.for_each_thread([&](vcuda::Thread& t) {
+          for_items<kGran, C.pers>(
+              t, items, [&](std::uint32_t i, std::uint32_t, std::uint32_t) {
+                const vid_t v = kData ? wl_in.ld(t, i) : i;
+                if (O::ld(t, cur, v) != kMisUndecided) return;
+                const std::uint32_t beg = row.ld(t, v);
+                const std::uint32_t end = row.ld(t, v + 1);
+                bool has_in = false, is_blocked = false;
+                for (std::uint32_t e = beg; e < end; ++e) {
+                  const vid_t u = col.ld(t, e);
+                  const std::uint32_t su = O::ld(t, cur, u);
+                  if (su == kMisIn) {
+                    has_in = true;
+                    break;
+                  }
+                  if (su != kMisOut && mis_beats(u, v)) is_blocked = true;
+                }
+                if (has_in) {
+                  O::st(t, nxt, v, kMisOut);
+                  O::st(t, changed, 0, 1u);
+                  return;
+                }
+                if (is_blocked) {
+                  if constexpr (kData) {  // still undecided: requeue
+                    if (O::fetch_max(t, stat, v, itr) != itr) {
+                      const std::uint32_t idx =
+                          O::fetch_add(t, wl_size, 0, 1u);
+                      wl_out.st(t, idx, v);
+                    }
+                  }
+                  return;
+                }
+                O::st(t, nxt, v, kMisIn);
+                O::st(t, changed, 0, 1u);
+                if constexpr (!kPull) {
+                  for (std::uint32_t e = beg; e < end; ++e) {
+                    O::st(t, nxt, col.ld(t, e), kMisOut);
+                  }
+                }
+              });
+        });
+      });
+      if constexpr (kData) {
+        in_size = size_h[0];
+        std::swap(wl_in, wl_out);
+      }
+    } else {
+      // Warp/block granularity, topology or worklist driven: cooperative
+      // scan -> barrier -> leader decision -> (push) strided knock-out.
+      const std::uint32_t items = kData ? in_size : n;
+      if constexpr (kData) {
+        if (in_size == 0) break;
+        size_h[0] = 0;
+      }
+      const std::uint32_t grid = grid_for<kGran, C.pers>(dev, items);
+      constexpr bool kWarpG = kGran == Granularity::Warp;
+      const std::uint32_t groups_per_block = kWarpG ? kBD / kWS : 1;
+      const std::uint32_t groups_total =
+          kWarpG ? grid * groups_per_block : grid;
+      const std::uint32_t batches =
+          C.pers == Persistence::Persistent
+              ? (items + groups_total - 1) / groups_total
+              : 1;
+      dev.launch(grid, kBD, [&](vcuda::Block& blk) {
+        auto has_in = blk.shared_array<std::uint32_t>(groups_per_block);
+        auto blkd = blk.shared_array<std::uint32_t>(groups_per_block);
+        auto entered = blk.shared_array<std::uint32_t>(groups_per_block);
+        for (std::uint32_t batch = 0; batch < batches; ++batch) {
+          auto group_item = [&](vcuda::Thread& t, std::uint32_t& gib) {
+            gib = kWarpG ? t.warp_in_block() : 0;
+            const std::uint32_t group_global =
+                kWarpG ? t.gidx() / kWS : t.block_idx();
+            return group_global + batch * groups_total;
+          };
+          // Region A: reset flags (leaders) -- a real kernel does this
+          // before the scan barrier.
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            std::uint32_t gib = 0;
+            (void)group_item(t, gib);
+            const bool leader =
+                kWarpG ? t.lane() == 0 : t.thread_idx() == 0;
+            if (leader) {
+              has_in[gib] = 0;
+              blkd[gib] = 0;
+              entered[gib] = 0;
+              t.work(3);
+            }
+          });
+          blk.sync();
+          // Region B: strided neighbourhood scan.
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            std::uint32_t gib = 0;
+            const std::uint32_t item = group_item(t, gib);
+            if (item >= items) return;
+            const vid_t v = kData ? wl_in.ld(t, item) : item;
+            if (O::ld(t, cur, v) != kMisUndecided) return;
+            const std::uint32_t beg = row.ld(t, v);
+            const std::uint32_t end = row.ld(t, v + 1);
+            const std::uint32_t off =
+                kWarpG ? static_cast<std::uint32_t>(t.lane())
+                       : t.thread_idx();
+            const std::uint32_t stride = kWarpG ? kWS : t.block_dim();
+            for (std::uint32_t e = beg + off; e < end; e += stride) {
+              const vid_t u = col.ld(t, e);
+              const std::uint32_t su = O::ld(t, cur, u);
+              if (su == kMisIn) {
+                has_in[gib] = 1;
+                t.work(1);
+                break;
+              }
+              if (su != kMisOut && mis_beats(u, v)) {
+                blkd[gib] = 1;
+                t.work(1);
+              }
+            }
+          });
+          blk.sync();
+          // Region C: leader decision.
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            std::uint32_t gib = 0;
+            const std::uint32_t item = group_item(t, gib);
+            const bool leader = kWarpG ? t.lane() == 0 : t.thread_idx() == 0;
+            if (!leader || item >= items) return;
+            const vid_t v = kData ? wl_in.ld(t, item) : item;
+            if (O::ld(t, cur, v) != kMisUndecided) return;
+            if (has_in[gib] != 0) {
+              O::st(t, nxt, v, kMisOut);
+              O::st(t, changed, 0, 1u);
+              return;
+            }
+            if (blkd[gib] != 0) {
+              if constexpr (kData) {
+                if (O::fetch_max(t, stat, v, itr) != itr) {
+                  const std::uint32_t idx = O::fetch_add(t, wl_size, 0, 1u);
+                  wl_out.st(t, idx, v);
+                }
+              }
+              return;
+            }
+            entered[gib] = 1;
+            O::st(t, nxt, v, kMisIn);
+            O::st(t, changed, 0, 1u);
+          });
+          blk.sync();
+          // Region D (push): the whole group knocks the neighbours out.
+          if constexpr (!kPull) {
+            blk.for_each_thread([&](vcuda::Thread& t) {
+              std::uint32_t gib = 0;
+              const std::uint32_t item = group_item(t, gib);
+              if (item >= items || entered[gib] == 0) return;
+              const vid_t v = kData ? wl_in.ld(t, item) : item;
+              const std::uint32_t beg = row.ld(t, v);
+              const std::uint32_t end = row.ld(t, v + 1);
+              const std::uint32_t off =
+                  kWarpG ? static_cast<std::uint32_t>(t.lane())
+                         : t.thread_idx();
+              const std::uint32_t stride = kWarpG ? kWS : t.block_dim();
+              for (std::uint32_t e = beg + off; e < end; e += stride) {
+                O::st(t, nxt, col.ld(t, e), kMisOut);
+              }
+            });
+            blk.sync();
+          }
+        }
+      });
+      if constexpr (kData) {
+        in_size = size_h[0];
+        std::swap(wl_in, wl_out);
+      }
+    }
+
+    if constexpr (kDet) std::swap(cur, nxt);
+    if constexpr (!kData) {
+      if (flag_h[0] == 0) break;
+    } else {
+      if constexpr (kEdge) {
+        if (flag_h[0] == 0) break;  // unreachable: edge MIS is topo-only
+      }
+    }
+  }
+
+  RunResult result;
+  result.iterations = itr;
+  result.converged = converged;
+  result.seconds = dev.elapsed_seconds();
+  result.output.labels.resize(n);
+  const std::uint32_t* final_vals = cur.raw().data();
+  for (vid_t v = 0; v < n; ++v) {
+    result.output.labels[v] = final_vals[v] == kMisIn ? 1 : 0;
+  }
+  return result;
+}
+
+}  // namespace
+
+void register_vcuda_mis() {
+  for_values<Flow::Vertex, Flow::Edge>([&]<Flow FL>() {
+    for_values<Drive::Topology, Drive::DataNoDup>([&]<Drive DR>() {
+      for_values<Direction::Push, Direction::Pull>([&]<Direction DI>() {
+        for_values<Determinism::NonDet, Determinism::Det>(
+            [&]<Determinism DE>() {
+              for_values<Persistence::NonPersistent, Persistence::Persistent>(
+                  [&]<Persistence PE>() {
+                    for_values<Granularity::Thread, Granularity::Warp,
+                               Granularity::Block>([&]<Granularity GR>() {
+                      for_values<AtomicsLib::Classic, AtomicsLib::CudaAtomic>(
+                          [&]<AtomicsLib AL>() {
+                            constexpr StyleConfig kCfg{
+                                .flow = FL, .drive = DR, .dir = DI,
+                                .det = DE, .pers = PE, .gran = GR,
+                                .alib = AL};
+                            if constexpr (is_valid(Model::Cuda,
+                                                   Algorithm::MIS, kCfg)) {
+                              Registry::instance().add(Variant{
+                                  Model::Cuda, Algorithm::MIS, kCfg,
+                                  program_name(Model::Cuda, Algorithm::MIS,
+                                               kCfg),
+                                  &mis_run<kCfg>});
+                            }
+                          });
+                    });
+                  });
+            });
+      });
+    });
+  });
+}
+
+}  // namespace indigo::variants::vc

@@ -1,0 +1,273 @@
+// Virtual-CUDA PageRank variants.
+//
+// Axes: pull (non-deterministic in-place or deterministic two-array) vs
+// push (deterministic scatter), persistent threads, thread/warp/block
+// granularity, and the three GPU sum-reduction styles for the per-iteration
+// L1 residual (paper Listing 10): global-add (every producer hits the
+// global counter), block-add (shared-memory block counter, one global add
+// per block), and reduction-add (warp+block tree, then one global add).
+// PR is vertex-based, topology-driven, and classic-atomics-only (no float
+// cuda::atomic, Section 5.1).
+#include <cmath>
+#include <vector>
+
+#include "variants/vcuda/vc_common.hpp"
+
+namespace indigo::variants::vc {
+namespace {
+
+template <StyleConfig C>
+RunResult pr_run(const Graph& g, const RunOptions& opts) {
+  constexpr bool kPush = C.dir == Direction::Push;
+  constexpr bool kDet = C.det == Determinism::Det;
+  constexpr GpuReduction kRed = C.gred;
+
+  vcuda::Device dev(opts.device != nullptr ? *opts.device : default_device());
+  const vid_t n = g.num_vertices();
+  if (n == 0) return RunResult{};
+  auto row = dev.array(g.row_index());
+  auto col = dev.array(g.col_index());
+
+  const float base = static_cast<float>((1.0 - kPrDamping) / n);
+  std::vector<float> rank_a(n, 1.0f / static_cast<float>(n)), rank_b;
+  auto cur = dev.array(std::span<float>(rank_a));
+  auto nxt = cur;
+  if constexpr (kDet || kPush) {
+    rank_b = rank_a;
+    nxt = dev.array(std::span<float>(rank_b));
+  }
+
+  std::vector<double> res_h(1, 0.0);
+  auto res = dev.array(std::span<double>(res_h));
+
+  // Folds `delta` into the residual with the reduction style under study.
+  // `slot` is this thread's shared-memory accumulator, `block_ctr` the
+  // block-wide one; the block epilogue below drains them.
+  auto fold = [&](vcuda::Thread& t, std::span<double> slots,
+                  double& block_ctr, vcuda::Block& blk, double delta) {
+    if constexpr (kRed == GpuReduction::GlobalAdd) {
+      res.atomic_add(t, 0, delta);  // Listing 10a
+    } else if constexpr (kRed == GpuReduction::BlockAdd) {
+      blk.atomic_add_block(t, block_ctr, delta);  // Listing 10b
+    } else {
+      slots[t.thread_idx()] += delta;  // Listing 10c, local phase
+      t.work(1);
+    }
+  };
+
+  // Drains the block/tree accumulators after the main region(s).
+  auto epilogue = [&](vcuda::Block& blk, std::span<double> slots,
+                      double& block_ctr) {
+    if constexpr (kRed == GpuReduction::BlockAdd) {
+      blk.sync();
+      blk.for_each_thread([&](vcuda::Thread& t) {
+        if (t.thread_idx() == 0) res.atomic_add(t, 0, block_ctr);
+      });
+    } else if constexpr (kRed == GpuReduction::ReductionAdd) {
+      blk.sync();
+      const double total = blk.reduce_add(slots);
+      blk.for_each_thread([&](vcuda::Thread& t) {
+        if (t.thread_idx() == 0) res.atomic_add(t, 0, total);
+      });
+    }
+  };
+
+  constexpr bool kWarpG = C.gran == Granularity::Warp;
+  constexpr bool kThreadG = C.gran == Granularity::Thread;
+
+  std::uint64_t itr = 0;
+  bool converged = false;
+  while (itr < opts.max_iterations) {
+    ++itr;
+    res_h[0] = 0.0;
+
+    if constexpr (kPush) {
+      // Kernel 1: reset the target array to the teleport base.
+      const std::uint32_t grid0 = grid_for<Granularity::Thread, C.pers>(dev, n);
+      dev.launch(grid0, kBD, [&](vcuda::Block& blk) {
+        blk.for_each_thread([&](vcuda::Thread& t) {
+          for_items<Granularity::Thread, C.pers>(
+              t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
+                nxt.st(t, v, base);
+              });
+        });
+      });
+      // Kernel 2: scatter shares along edges (granularity under study).
+      const std::uint32_t grid1 = grid_for<C.gran, C.pers>(dev, n);
+      dev.launch(grid1, kBD, [&](vcuda::Block& blk) {
+        blk.for_each_thread([&](vcuda::Thread& t) {
+          for_items<C.gran, C.pers>(
+              t, n,
+              [&](std::uint32_t v, std::uint32_t off, std::uint32_t stride) {
+                const std::uint32_t beg = row.ld(t, v);
+                const std::uint32_t end = row.ld(t, v + 1);
+                if (beg == end) return;
+                const float share = static_cast<float>(kPrDamping) *
+                                    cur.ld(t, v) /
+                                    static_cast<float>(end - beg);
+                for (std::uint32_t e = beg + off; e < end; e += stride) {
+                  nxt.atomic_add(t, col.ld(t, e), share);
+                }
+              });
+        });
+      });
+      // Kernel 3: residual with the reduction style (thread granularity;
+      // an elementwise map regardless of the gather/scatter granularity).
+      const std::uint32_t grid2 = grid_for<Granularity::Thread, C.pers>(dev, n);
+      dev.launch(grid2, kBD, [&](vcuda::Block& blk) {
+        auto slots = blk.shared_array<double>(kBD);
+        auto block_ctr = blk.shared_array<double>(1);
+        blk.for_each_thread([&](vcuda::Thread& t) {
+          for_items<Granularity::Thread, C.pers>(
+              t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
+                const double delta = std::abs(
+                    static_cast<double>(nxt.ld(t, v)) - cur.ld(t, v));
+                fold(t, slots, block_ctr[0], blk, delta);
+              });
+        });
+        epilogue(blk, slots, block_ctr[0]);
+      });
+    } else {
+      // Pull: gather with the granularity under study. Warp/block groups
+      // accumulate per-thread partials in shared memory, a barrier
+      // separates the scan from the leader's combine.
+      const std::uint32_t grid = grid_for<C.gran, C.pers>(dev, n);
+      const std::uint32_t groups_per_block = kWarpG ? kBD / kWS : 1;
+      const std::uint32_t groups_total =
+          kThreadG ? 0
+                   : (kWarpG ? grid * groups_per_block : grid);
+      const std::uint32_t batches =
+          kThreadG ? 1
+          : C.pers == Persistence::Persistent
+              ? (n + groups_total - 1) / groups_total
+              : 1;
+      dev.launch(grid, kBD, [&](vcuda::Block& blk) {
+        auto slots = blk.shared_array<double>(kBD);
+        auto block_ctr = blk.shared_array<double>(1);
+        if constexpr (kThreadG) {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            for_items<C.gran, C.pers>(
+                t, n,
+                [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
+                  double sum = 0.0;
+                  const std::uint32_t beg = row.ld(t, v);
+                  const std::uint32_t end = row.ld(t, v + 1);
+                  for (std::uint32_t e = beg; e < end; ++e) {
+                    const vid_t u = col.ld(t, e);
+                    const std::uint32_t du =
+                        row.ld(t, u + 1) - row.ld(t, u);
+                    sum += static_cast<double>(cur.ld(t, u)) / du;
+                    t.work(2);
+                  }
+                  const auto fresh =
+                      static_cast<float>(base + kPrDamping * sum);
+                  const double delta = std::abs(
+                      static_cast<double>(fresh) - cur.ld(t, v));
+                  nxt.st(t, v, fresh);
+                  fold(t, slots, block_ctr[0], blk, delta);
+                });
+          });
+          epilogue(blk, slots, block_ctr[0]);
+        } else {
+          auto partials = blk.shared_array<double>(kBD);
+          for (std::uint32_t batch = 0; batch < batches; ++batch) {
+            // Region A: strided partial sums.
+            blk.for_each_thread([&](vcuda::Thread& t) {
+              partials[t.thread_idx()] = 0.0;
+              const std::uint32_t group =
+                  (kWarpG ? t.gidx() / kWS : t.block_idx()) +
+                  batch * groups_total;
+              if (group >= n) return;
+              const vid_t v = group;
+              const std::uint32_t beg = row.ld(t, v);
+              const std::uint32_t end = row.ld(t, v + 1);
+              const std::uint32_t off =
+                  kWarpG ? static_cast<std::uint32_t>(t.lane())
+                         : t.thread_idx();
+              const std::uint32_t stride = kWarpG ? kWS : t.block_dim();
+              double sum = 0.0;
+              for (std::uint32_t e = beg + off; e < end; e += stride) {
+                const vid_t u = col.ld(t, e);
+                const std::uint32_t du = row.ld(t, u + 1) - row.ld(t, u);
+                sum += static_cast<double>(cur.ld(t, u)) / du;
+                t.work(2);
+              }
+              partials[t.thread_idx()] = sum;
+            });
+            blk.sync();
+            // Region B: group leaders combine and write the fresh score.
+            blk.for_each_thread([&](vcuda::Thread& t) {
+              const bool leader =
+                  kWarpG ? t.lane() == 0 : t.thread_idx() == 0;
+              if (!leader) return;
+              const std::uint32_t group =
+                  (kWarpG ? t.gidx() / kWS : t.block_idx()) +
+                  batch * groups_total;
+              if (group >= n) return;
+              const vid_t v = group;
+              const std::uint32_t width = kWarpG ? kWS : t.block_dim();
+              const std::uint32_t first =
+                  kWarpG ? t.warp_in_block() * kWS : 0u;
+              double sum = 0.0;
+              for (std::uint32_t k = 0; k < width; ++k) {
+                sum += partials[first + k];
+              }
+              // Tree combine cost (shuffle reduction in a real kernel).
+              t.work(5 * 10.0);
+              const auto fresh =
+                  static_cast<float>(base + kPrDamping * sum);
+              const double delta =
+                  std::abs(static_cast<double>(fresh) - cur.ld(t, v));
+              nxt.st(t, v, fresh);
+              fold(t, slots, block_ctr[0], blk, delta);
+            });
+            blk.sync();
+          }
+          epilogue(blk, slots, block_ctr[0]);
+        }
+      });
+    }
+
+    if constexpr (kDet || kPush) std::swap(cur, nxt);
+    if (res_h[0] < opts.pr_epsilon) {
+      converged = true;
+      break;
+    }
+  }
+
+  RunResult result;
+  result.iterations = itr;
+  result.converged = converged;
+  result.seconds = dev.elapsed_seconds();
+  const float* final_vals = cur.raw().data();
+  result.output.ranks.assign(final_vals, final_vals + n);
+  return result;
+}
+
+}  // namespace
+
+void register_vcuda_pr() {
+  for_values<Direction::Push, Direction::Pull>([&]<Direction DI>() {
+    for_values<Determinism::NonDet, Determinism::Det>([&]<Determinism DE>() {
+      for_values<Persistence::NonPersistent, Persistence::Persistent>(
+          [&]<Persistence PE>() {
+            for_values<Granularity::Thread, Granularity::Warp,
+                       Granularity::Block>([&]<Granularity GR>() {
+              for_values<GpuReduction::GlobalAdd, GpuReduction::BlockAdd,
+                         GpuReduction::ReductionAdd>([&]<GpuReduction RE>() {
+                constexpr StyleConfig kCfg{.dir = DI, .det = DE, .pers = PE,
+                                           .gran = GR, .gred = RE};
+                if constexpr (is_valid(Model::Cuda, Algorithm::PR, kCfg)) {
+                  Registry::instance().add(Variant{
+                      Model::Cuda, Algorithm::PR, kCfg,
+                      program_name(Model::Cuda, Algorithm::PR, kCfg),
+                      &pr_run<kCfg>});
+                }
+              });
+            });
+          });
+    });
+  });
+}
+
+}  // namespace indigo::variants::vc

@@ -1,0 +1,8 @@
+// Registers the virtual-CUDA breadth-first-search relaxation variants.
+#include "variants/vcuda/relax.hpp"
+
+namespace indigo::variants::vc {
+
+void register_vcuda_bfs() { register_relax_variants<BfsProblem>(); }
+
+}  // namespace indigo::variants::vc

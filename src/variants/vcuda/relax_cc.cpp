@@ -1,0 +1,8 @@
+// Registers the virtual-CUDA connected-components relaxation variants.
+#include "variants/vcuda/relax.hpp"
+
+namespace indigo::variants::vc {
+
+void register_vcuda_cc() { register_relax_variants<CcProblem>(); }
+
+}  // namespace indigo::variants::vc

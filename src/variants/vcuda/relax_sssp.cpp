@@ -1,0 +1,8 @@
+// Registers the virtual-CUDA single-source-shortest-path relaxation variants.
+#include "variants/vcuda/relax.hpp"
+
+namespace indigo::variants::vc {
+
+void register_vcuda_sssp() { register_relax_variants<SsspProblem>(); }
+
+}  // namespace indigo::variants::vc

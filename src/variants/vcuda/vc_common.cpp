@@ -1,0 +1,12 @@
+#include "variants/vcuda/vc_common.hpp"
+
+#include "vcuda/device_spec.hpp"
+
+namespace indigo::variants::vc {
+
+const vcuda::DeviceSpec& default_device() {
+  static const vcuda::DeviceSpec spec = vcuda::rtx3090_like();
+  return spec;
+}
+
+}  // namespace indigo::variants::vc

@@ -1,0 +1,135 @@
+// Shared machinery of the virtual-CUDA variant families: the style-driven
+// accessor (classic atomics vs cuda::atomic-with-defaults, paper 2.9), the
+// granularity/persistence work-item loops (2.7, 2.8), and grid sizing.
+#pragma once
+
+#include <cstdint>
+
+#include "variants/common.hpp"
+#include "vcuda/sim.hpp"
+
+namespace indigo::variants::vc {
+
+/// CUDA warp size; the simulator's DeviceSpecs use the same value.
+inline constexpr std::uint32_t kWS = 32;
+/// Block size used by all suite kernels (the paper's codes use a fixed
+/// launch configuration; 256 is the common choice).
+inline constexpr std::uint32_t kBD = 256;
+
+/// Shared-data accessor: Classic maps to plain loads/stores and classic
+/// atomics (Listing 9a); CudaAtomic maps to cuda::atomic with DEFAULT
+/// scope/order (Listing 9b), whose loads and stores are fenced and whose
+/// RMWs are drastically slower (Section 5.1). Graph topology arrays are
+/// never atomic, so kernels read those with plain ld() directly.
+template <AtomicsLib A>
+struct Ops {
+  template <typename T>
+  static T ld(vcuda::Thread& t, const vcuda::DeviceArray<T>& a,
+              std::size_t i) {
+    if constexpr (A == AtomicsLib::Classic) {
+      return a.ld(t, i);
+    } else {
+      return a.ald(t, i);
+    }
+  }
+  template <typename T>
+  static void st(vcuda::Thread& t, const vcuda::DeviceArray<T>& a,
+                 std::size_t i, T v) {
+    if constexpr (A == AtomicsLib::Classic) {
+      a.st(t, i, v);
+    } else {
+      a.ast(t, i, v);
+    }
+  }
+  template <typename T>
+  static T fetch_min(vcuda::Thread& t, const vcuda::DeviceArray<T>& a,
+                     std::size_t i, T v) {
+    if constexpr (A == AtomicsLib::Classic) {
+      return a.atomic_min(t, i, v);
+    } else {
+      return a.afetch_min(t, i, v);
+    }
+  }
+  template <typename T>
+  static T fetch_max(vcuda::Thread& t, const vcuda::DeviceArray<T>& a,
+                     std::size_t i, T v) {
+    if constexpr (A == AtomicsLib::Classic) {
+      return a.atomic_max(t, i, v);
+    } else {
+      return a.afetch_max(t, i, v);
+    }
+  }
+  template <typename T>
+  static T fetch_add(vcuda::Thread& t, const vcuda::DeviceArray<T>& a,
+                     std::size_t i, T v) {
+    if constexpr (A == AtomicsLib::Classic) {
+      return a.atomic_add(t, i, v);
+    } else {
+      return a.afetch_add(t, i, v);
+    }
+  }
+};
+
+/// Grid size for `items` work items under the granularity/persistence
+/// styles. Persistent kernels use a device-filling grid and stride
+/// (Listing 7a); non-persistent kernels launch one thread/warp/block per
+/// item (Listing 7b).
+template <Granularity G, Persistence P>
+std::uint32_t grid_for(const vcuda::Device& dev, std::uint32_t items,
+                       std::uint32_t bd = kBD) {
+  if constexpr (P == Persistence::Persistent) {
+    return dev.persistent_grid_dim(bd);
+  }
+  if constexpr (G == Granularity::Thread) {
+    return (items + bd - 1) / bd;
+  } else if constexpr (G == Granularity::Warp) {
+    const std::uint64_t threads = static_cast<std::uint64_t>(items) * kWS;
+    return static_cast<std::uint32_t>((threads + bd - 1) / bd);
+  } else {
+    return items;
+  }
+}
+
+/// Runs fn(item, inner_offset, inner_stride) for every work item this
+/// thread participates in. Thread granularity gives the whole inner loop
+/// to one thread (Listing 8a); warp/block granularity strides the inner
+/// loop across the warp's/block's threads (Listings 8b, 8c).
+template <Granularity G, Persistence P, typename Fn>
+void for_items(vcuda::Thread& t, std::uint32_t items, Fn&& fn) {
+  if constexpr (G == Granularity::Thread) {
+    if constexpr (P == Persistence::Persistent) {
+      for (std::uint32_t i = t.gidx(); i < items; i += t.total_threads()) {
+        fn(i, 0u, 1u);
+      }
+    } else {
+      const std::uint32_t i = t.gidx();
+      if (i < items) fn(i, 0u, 1u);
+    }
+  } else if constexpr (G == Granularity::Warp) {
+    const std::uint32_t wid = t.gidx() / kWS;
+    const auto lane = static_cast<std::uint32_t>(t.lane());
+    if constexpr (P == Persistence::Persistent) {
+      const std::uint32_t nwarps = t.total_threads() / kWS;
+      for (std::uint32_t i = wid; i < items; i += nwarps) {
+        fn(i, lane, kWS);
+      }
+    } else {
+      if (wid < items) fn(wid, lane, kWS);
+    }
+  } else {
+    if constexpr (P == Persistence::Persistent) {
+      for (std::uint32_t i = t.block_idx(); i < items; i += t.grid_dim()) {
+        fn(i, t.thread_idx(), t.block_dim());
+      }
+    } else {
+      if (t.block_idx() < items) {
+        fn(t.block_idx(), t.thread_idx(), t.block_dim());
+      }
+    }
+  }
+}
+
+/// Default device used when RunOptions does not name one.
+const vcuda::DeviceSpec& default_device();
+
+}  // namespace indigo::variants::vc

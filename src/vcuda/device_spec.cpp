@@ -1,0 +1,32 @@
+#include "vcuda/device_spec.hpp"
+
+namespace indigo::vcuda {
+
+DeviceSpec rtx3090_like() {
+  DeviceSpec s;
+  s.name = "rtx3090_like";
+  s.num_sms = 82;
+  s.max_threads_per_sm = 1536;
+  s.clock_ghz = 1.74;
+  s.mem_bandwidth_gbs = 936.0;
+  s.cudaatomic_rmw_mult = 10.0;
+  s.cudaatomic_ldst_cycles = 220.0;
+  return s;
+}
+
+DeviceSpec titanv_like() {
+  DeviceSpec s;
+  s.name = "titanv_like";
+  s.num_sms = 80;
+  s.max_threads_per_sm = 2048;
+  s.clock_ghz = 1.2;
+  s.mem_bandwidth_gbs = 653.0;
+  // Volta predates the native scoped-atomic fast paths that Ampere has;
+  // the paper measures default cuda::atomic to be roughly another order of
+  // magnitude slower than on the RTX 3090 (Section 5.1).
+  s.cudaatomic_rmw_mult = 90.0;
+  s.cudaatomic_ldst_cycles = 2000.0;
+  return s;
+}
+
+}  // namespace indigo::vcuda

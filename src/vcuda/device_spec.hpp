@@ -1,0 +1,66 @@
+// Parameters of a simulated GPU.
+//
+// There is no physical GPU in this environment, so the paper's two devices
+// are replaced by two parameter sets for the vcuda simulator (DESIGN.md
+// "Substitutions"). The numbers are taken from the public spec sheets the
+// paper cites (Section 4.3) where a spec exists (SM count, clock, memory
+// bandwidth) and otherwise calibrated to the qualitative behaviour the paper
+// reports (e.g., the default cuda::atomic penalty is ~10x on the RTX 3090
+// and ~100x on the Titan V, Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace indigo::vcuda {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- machine shape -----------------------------------------------------
+  int num_sms = 82;
+  int max_threads_per_sm = 1536;  // for the persistent-style grid size
+  int warp_size = 32;
+
+  // --- clock and bandwidth ------------------------------------------------
+  double clock_ghz = 1.74;          // converts cycles to seconds
+  double mem_bandwidth_gbs = 936.0; // global-memory GB/s
+  int mem_transaction_bytes = 128;  // coalescing segment size
+
+  // --- per-operation costs (cycles, charged per warp or per op) -----------
+  double cycles_per_mem_instr = 4.0;   // issue cost of a ld/st/atomic (lane)
+  double cycles_per_alu = 1.0;         // explicit Thread::work unit
+  double warp_fixed_cycles = 24.0;     // scheduling overhead per warp-phase
+  double barrier_cycles = 32.0;        // __syncthreads
+  double warp_collective_cycles = 10.0;  // one warp shuffle/reduce step
+  double global_atomic_cycles = 24.0;  // classic atomic, distinct addresses
+  double block_atomic_cycles = 6.0;    // *_block atomics in shared memory
+  double same_address_atomic_cycles = 4.0;  // serialization per conflict
+  double kernel_launch_us = 1.5;       // launch + host sync overhead
+
+  // --- libcu++ cuda::atomic with DEFAULT settings -------------------------
+  // Default scope is cuda::thread_scope_system and default order is
+  // seq_cst; on real hardware every such access bypasses the L1, fences,
+  // and (on pre-Ampere parts) falls back to much slower code paths. The
+  // multipliers scale the classic costs; loads/stores through the atomic
+  // get an explicit fence cost as well.
+  double cudaatomic_rmw_mult = 10.0;
+  double cudaatomic_ldst_cycles = 220.0;  // .load()/.store() w/ seq_cst fence
+
+  // Threads the device can schedule concurrently (persistent grid size).
+  [[nodiscard]] std::uint32_t concurrent_threads() const {
+    return static_cast<std::uint32_t>(num_sms) *
+           static_cast<std::uint32_t>(max_threads_per_sm);
+  }
+};
+
+/// Ampere-generation stand-in for the paper's RTX 3090 (82 SMs, 1.74 GHz,
+/// 936 GB/s; moderate default-cuda::atomic penalty).
+DeviceSpec rtx3090_like();
+
+/// Volta-generation stand-in for the paper's Titan V (80 SMs, 1.2 GHz,
+/// 653 GB/s; drastic default-cuda::atomic penalty, Section 5.1 reports
+/// ratios of ~100 median and >1000 worst case).
+DeviceSpec titanv_like();
+
+}  // namespace indigo::vcuda

@@ -1,0 +1,167 @@
+#include "vcuda/sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace indigo::vcuda {
+
+namespace detail {
+
+namespace {
+
+std::uint64_t mix_addr(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void WarpRecorder::flush(Device& dev) {
+  if (active_lanes_ == 0) return;
+  const DeviceSpec& spec = *spec_;
+
+  // SIMT lockstep: the warp is as slow as its slowest lane, plus a fixed
+  // scheduling overhead per warp-region. This is what makes thread-level
+  // processing of a high-degree vertex stall the 31 sibling lanes (the load
+  // imbalance the paper's Section 5.8 attributes thread-granularity's
+  // losses to).
+  double max_lane = 0;
+  for (int l = 0; l < active_lanes_; ++l) {
+    max_lane = std::max(max_lane, lane_cycles_[l]);
+  }
+  dev.add_compute_cycles(max_lane + spec.warp_fixed_cycles);
+  dev.add_fence_cycles(fence_cycles_);
+
+  // Coalescing: accesses made by the warp's lanes at the same program point
+  // form one SIMT memory instruction; they cost as many 128-byte
+  // transactions as distinct segments they touch. A fully diverged warp
+  // issues up to 32 transactions for 32 values (the paper's motivation for
+  // cyclic/coalesced GPU access, Section 2.12).
+  std::uint64_t lines[64];
+  const int line_shift =
+      63 - std::countl_zero(static_cast<std::uint64_t>(
+               spec.mem_transaction_bytes));
+  for (std::size_t gi = 0; gi < used_groups_; ++gi) {
+    auto& group = groups_[gi];
+    if (group.empty()) continue;
+    int n_lines = 0;
+    for (const Access& a : group) {
+      if (a.kind == AccessKind::Atomic || a.kind == AccessKind::CudaAtomicRmw) {
+        continue;  // handled below
+      }
+      lines[n_lines++] = a.addr >> line_shift;
+    }
+    if (n_lines > 0) {
+      std::sort(lines, lines + n_lines);
+      dev.add_transactions(static_cast<std::uint64_t>(
+          std::unique(lines, lines + n_lines) - lines));
+    }
+    // Atomics: nvcc and the hardware aggregate same-address atomics within
+    // a warp, so distinct addresses in this group each contribute one unit
+    // to their address's serialization chain.
+    std::uint64_t atomic_addrs[64];
+    int n_atomic = 0;
+    bool any_cudaatomic = false;
+    for (const Access& a : group) {
+      if (a.kind == AccessKind::Atomic ||
+          a.kind == AccessKind::CudaAtomicRmw) {
+        atomic_addrs[n_atomic++] = a.addr;
+        any_cudaatomic |= a.kind == AccessKind::CudaAtomicRmw;
+      }
+    }
+    if (n_atomic > 0) {
+      std::sort(atomic_addrs, atomic_addrs + n_atomic);
+      const int distinct = static_cast<int>(
+          std::unique(atomic_addrs, atomic_addrs + n_atomic) - atomic_addrs);
+      const double unit =
+          spec.same_address_atomic_cycles *
+          (any_cudaatomic ? spec.cudaatomic_rmw_mult : 1.0);
+      for (int i = 0; i < distinct; ++i) {
+        dev.note_atomic_chain(mix_addr(atomic_addrs[i]), unit);
+      }
+      // Atomics also move data: one transaction per distinct address line.
+      dev.add_transactions(static_cast<std::uint64_t>(distinct));
+    }
+  }
+}
+
+}  // namespace detail
+
+Block::Block(Device& dev, std::uint32_t bdim, std::uint32_t gdim)
+    : dev_(dev), bdim_(bdim), gdim_(gdim), warp_size_(dev.spec().warp_size) {}
+
+const DeviceSpec& Block::spec() const { return dev_.spec(); }
+
+double Block::block_atomic_cycles() const {
+  return dev_.spec().block_atomic_cycles;
+}
+
+void Block::sync() {
+  const auto ws = static_cast<std::uint32_t>(warp_size_);
+  const std::uint32_t warps = (bdim_ + ws - 1) / ws;
+  dev_.add_compute_cycles(spec().barrier_cycles * warps);
+  dev_.add_barriers(1);
+}
+
+double Block::reduce_add(std::span<const double> per_thread_values) {
+  const auto ws = static_cast<std::uint32_t>(warp_size_);
+  const std::uint32_t warps =
+      (static_cast<std::uint32_t>(per_thread_values.size()) + ws - 1) / ws;
+  const double steps_per_warp =
+      std::log2(static_cast<double>(warp_size_)) *
+      spec().warp_collective_cycles;
+  // log2(ws) shuffle steps in every warp, one barrier, then the first warp
+  // combines the per-warp results (paper Listing 10c).
+  dev_.add_compute_cycles(warps * steps_per_warp);
+  sync();
+  dev_.add_compute_cycles(
+      std::log2(std::max<double>(warps, 2.0)) * spec().warp_collective_cycles);
+  double total = 0;
+  for (double v : per_thread_values) total += v;
+  return total;
+}
+
+void Block::begin_block(std::uint32_t bidx) {
+  bidx_ = bidx;
+  block_serial_cycles_ = 0;
+  shared_.clear();
+}
+
+void Block::end_block() {
+  // Shared-memory same-address serialization (block-add style) happens
+  // inside one block; concurrent blocks hide it across SMs, so it lands in
+  // the parallel compute pool.
+  dev_.add_compute_cycles(block_serial_cycles_);
+}
+
+Device::Device(const DeviceSpec& spec) : spec_(spec), hotspot_(4096, 0.0) {}
+
+void Device::note_atomic_chain(std::uint64_t hashed_addr, double cycles) {
+  hotspot_[hashed_addr & (hotspot_.size() - 1)] += cycles;
+}
+
+void Device::finalize_launch() {
+  double hot = 0;
+  for (double h : hotspot_) hot = std::max(hot, h);
+  stats_.hotspot_cycles_max = hot;
+
+  const double hz = spec_.clock_ghz * 1e9;
+  const double compute_s =
+      stats_.compute_cycles / static_cast<double>(spec_.num_sms) / hz;
+  const double mem_s = static_cast<double>(stats_.transactions) *
+                       spec_.mem_transaction_bytes /
+                       (spec_.mem_bandwidth_gbs * 1e9);
+  const double atomic_s = hot / hz;
+  // seq_cst cuda::atomic stalls serialize each SM's memory pipeline; they
+  // add on top of whatever the roofline hides (Section 5.1's penalty).
+  const double fence_s =
+      stats_.fence_cycles / static_cast<double>(spec_.num_sms) / hz;
+  elapsed_s_ += std::max({compute_s, mem_s, atomic_s}) + fence_s +
+                spec_.kernel_launch_us * 1e-6;
+  ++launches_;
+  last_stats_ = stats_;
+}
+
+}  // namespace indigo::vcuda

@@ -1,0 +1,435 @@
+// vcuda: a virtual-CUDA execution model for machines without a GPU.
+//
+// Kernels are written in the "work-item loop" form (the same transformation
+// POCL/MCUDA apply to real CUDA C): a kernel is a callable invoked once per
+// block; inside it, `Block::for_each_thread` runs a region of per-thread
+// code for every thread of the block, and consecutive regions are separated
+// by `Block::sync()` with exactly __syncthreads semantics (all threads
+// finish region k before any enters region k+1). Shared memory lives on the
+// Block between regions. Warp-level collectives are exposed as explicit
+// cooperative operations (paper Listing 10c style).
+//
+// Execution is sequential and deterministic. Performance is *modeled*, not
+// measured: every global-memory access is recorded per warp and program
+// point, coalesced into 128-byte transactions (diverged warps produce
+// partially filled transactions, which is the SIMT divergence penalty), SIMT
+// lockstep is modeled by charging each warp the maximum of its lanes' cycle
+// counts, same-address atomics serialize (with warp-level aggregation, as
+// hardware and nvcc do), and the kernel's elapsed time is a roofline
+// max(compute, memory, atomic-serialization) plus launch overhead. The
+// DeviceSpec knobs make the model's two configurations stand in for the
+// paper's two GPUs. See DESIGN.md "Substitutions" for why the style *ratios*
+// the study cares about survive this substitution.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "vcuda/device_spec.hpp"
+
+namespace indigo::vcuda {
+
+class Device;
+class Block;
+class Thread;
+
+/// How an access is charged. CudaAtomic* model libcu++ cuda::atomic with
+/// its DEFAULT template arguments (system scope, seq_cst) per paper 2.9.
+enum class AccessKind : std::uint8_t {
+  Load,
+  Store,
+  Atomic,          // classic atomicMin/Max/Add/CAS
+  CudaAtomicLdSt,  // cuda::atomic load()/store()
+  CudaAtomicRmw,   // cuda::atomic fetch_min()/fetch_max()/fetch_add()
+};
+
+/// Aggregated counters for one kernel launch.
+struct LaunchStats {
+  double compute_cycles = 0;      // parallel work, spread over the SMs
+  std::uint64_t transactions = 0; // 128B global-memory transactions
+  double hotspot_cycles_max = 0;  // longest same-address atomic chain
+  double fence_cycles = 0;        // seq_cst cuda::atomic stalls (per SM,
+                                  // NOT overlappable with memory/compute)
+  std::uint64_t barriers = 0;
+
+  void reset() { *this = LaunchStats{}; }
+};
+
+namespace detail {
+
+/// A stride coprime to n near n * golden-ratio: `(i * step) mod n`
+/// enumerates 0..n-1 as a well-scattered permutation. Used to scramble
+/// block and warp execution order (see Device::launch).
+inline std::uint32_t coprime_step(std::uint32_t n) {
+  if (n <= 2) return 1;
+  auto gcd = [](std::uint32_t a, std::uint32_t b) {
+    while (b != 0) {
+      const std::uint32_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  };
+  std::uint32_t step = static_cast<std::uint32_t>(0.6180339887 * n) | 1u;
+  while (gcd(step, n) != 1) step += 2;
+  return step % n == 0 ? 1 : step % n;
+}
+
+/// One recorded access: byte address plus charge kind.
+struct Access {
+  std::uint64_t addr;
+  AccessKind kind;
+};
+
+/// Per-warp recorder for the current region. Lane accesses are grouped by
+/// per-lane program-point index; aligned groups model one SIMT instruction.
+class WarpRecorder {
+ public:
+  void begin(const DeviceSpec& spec) {
+    spec_ = &spec;
+    for (auto& g : groups_) g.clear();
+    used_groups_ = 0;
+    lane_cycles_.fill(0.0);
+    fence_cycles_ = 0;
+    active_lanes_ = 0;
+  }
+
+  void set_lane(int lane) {
+    lane_ = lane;
+    op_index_ = 0;
+    active_lanes_ = std::max(active_lanes_, lane + 1);
+  }
+
+  void charge(double cycles) { lane_cycles_[lane_] += cycles; }
+
+  void record(std::uint64_t addr, AccessKind kind) {
+    if (op_index_ >= groups_.size()) groups_.resize(op_index_ + 1);
+    used_groups_ = std::max(used_groups_, op_index_ + 1);
+    groups_[op_index_].push_back({addr, kind});
+    ++op_index_;
+    switch (kind) {
+      case AccessKind::Load:
+      case AccessKind::Store:
+        charge(spec_->cycles_per_mem_instr);
+        break;
+      case AccessKind::Atomic:
+        charge(spec_->cycles_per_mem_instr + spec_->global_atomic_cycles);
+        break;
+      case AccessKind::CudaAtomicLdSt:
+        // The seq_cst fence stalls the SM's memory pipeline; it cannot be
+        // hidden behind other warps, so it lands in a separate pool.
+        charge(spec_->cycles_per_mem_instr);
+        fence_cycles_ += spec_->cudaatomic_ldst_cycles;
+        break;
+      case AccessKind::CudaAtomicRmw:
+        charge(spec_->cycles_per_mem_instr);
+        fence_cycles_ +=
+            spec_->global_atomic_cycles * spec_->cudaatomic_rmw_mult;
+        break;
+    }
+  }
+
+  /// Folds the region's recording into the launch stats and the hotspot
+  /// table (see Device). Called when all lanes finished the region.
+  void flush(Device& dev);
+
+ private:
+  const DeviceSpec* spec_ = nullptr;
+  std::vector<std::vector<Access>> groups_;
+  std::size_t used_groups_ = 0;
+  std::size_t op_index_ = 0;
+  std::array<double, 64> lane_cycles_{};  // supports warp_size <= 64
+  double fence_cycles_ = 0;
+  int lane_ = 0;
+  int active_lanes_ = 0;
+};
+
+}  // namespace detail
+
+/// Handle to one simulated CUDA thread, valid inside for_each_thread.
+class Thread {
+ public:
+  Thread(detail::WarpRecorder& rec, std::uint32_t tid, std::uint32_t bidx,
+         std::uint32_t bdim, std::uint32_t gdim, int warp_size)
+      : rec_(rec), tid_(tid), bidx_(bidx), bdim_(bdim), gdim_(gdim),
+        warp_size_(warp_size) {}
+
+  [[nodiscard]] std::uint32_t thread_idx() const { return tid_; }
+  [[nodiscard]] std::uint32_t block_idx() const { return bidx_; }
+  [[nodiscard]] std::uint32_t block_dim() const { return bdim_; }
+  [[nodiscard]] std::uint32_t grid_dim() const { return gdim_; }
+  /// threadIdx.x + blockIdx.x * blockDim.x — the paper's "gidx".
+  [[nodiscard]] std::uint32_t gidx() const { return bidx_ * bdim_ + tid_; }
+  [[nodiscard]] std::uint32_t total_threads() const { return gdim_ * bdim_; }
+  [[nodiscard]] int lane() const { return static_cast<int>(tid_) % warp_size_; }
+  [[nodiscard]] std::uint32_t warp_in_block() const {
+    return tid_ / static_cast<std::uint32_t>(warp_size_);
+  }
+
+  /// Explicit ALU charge (index arithmetic etc. beyond memory ops).
+  void work(double alu_ops) { rec_.charge(alu_ops); }
+
+  void record(const void* base, std::size_t index, std::size_t elem_size,
+              AccessKind kind) {
+    // Device allocations are transaction-aligned on real hardware; align
+    // the host buffer's base down so coalescing groups see the layout a
+    // cudaMalloc'd array would have.
+    const auto b = reinterpret_cast<std::uint64_t>(base) & ~std::uint64_t{127};
+    rec_.record(b + index * elem_size, kind);
+  }
+
+ private:
+  detail::WarpRecorder& rec_;
+  std::uint32_t tid_, bidx_, bdim_, gdim_;
+  int warp_size_;
+};
+
+/// A global-memory array. All element access goes through a Thread so the
+/// simulator can account for it. The simulator executes sequentially, so
+/// the "atomic" operations are ordinary read-modify-writes functionally;
+/// their cost is what differs.
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  explicit DeviceArray(std::span<T> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::span<T> raw() const { return data_; }
+
+  // --- classic CUDA accesses (paper Listing 9a world) ---------------------
+  T ld(Thread& t, std::size_t i) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::Load);
+    return data_[i];
+  }
+  void st(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::Store);
+    data_[i] = v;
+  }
+  T atomic_min(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    const T old = data_[i];
+    if (v < old) data_[i] = v;
+    return old;
+  }
+  T atomic_max(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    const T old = data_[i];
+    if (v > old) data_[i] = v;
+    return old;
+  }
+  T atomic_add(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    const T old = data_[i];
+    data_[i] = old + v;
+    return old;
+  }
+  /// atomicCAS: returns the old value (compare to `expected` to test).
+  T atomic_cas(Thread& t, std::size_t i, T expected, T desired) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    const T old = data_[i];
+    if (old == expected) data_[i] = desired;
+    return old;
+  }
+
+  // --- cuda::atomic with default settings (paper Listing 9b world) --------
+  T ald(Thread& t, std::size_t i) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
+    return data_[i];
+  }
+  void ast(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
+    data_[i] = v;
+  }
+  T afetch_min(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
+    const T old = data_[i];
+    if (v < old) data_[i] = v;
+    return old;
+  }
+  T afetch_max(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
+    const T old = data_[i];
+    if (v > old) data_[i] = v;
+    return old;
+  }
+  T afetch_add(Thread& t, std::size_t i, T v) const {
+    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
+    const T old = data_[i];
+    data_[i] = old + v;
+    return old;
+  }
+
+ private:
+  std::span<T> data_;
+};
+
+/// Handle to one simulated thread block.
+class Block {
+ public:
+  Block(Device& dev, std::uint32_t bdim, std::uint32_t gdim);
+
+  [[nodiscard]] std::uint32_t block_idx() const { return bidx_; }
+  [[nodiscard]] std::uint32_t block_dim() const { return bdim_; }
+  [[nodiscard]] std::uint32_t grid_dim() const { return gdim_; }
+
+  /// Runs `fn(Thread&)` for every thread of the block, warp by warp, and
+  /// folds the per-warp recordings into the launch accounting. One call is
+  /// one barrier-delimited region of the kernel.
+  template <typename F>
+  void for_each_thread(F&& fn) {
+    const auto ws = static_cast<std::uint32_t>(warp_size_);
+    const std::uint32_t warps = (bdim_ + ws - 1) / ws;
+    // Warps run in scrambled order for the same reason blocks do (see
+    // Device::launch): hardware interleaves them, so in-order execution
+    // would overstate in-sweep value propagation.
+    const std::uint32_t step = detail::coprime_step(warps);
+    std::uint32_t w = 0;
+    for (std::uint32_t k = 0; k < warps; ++k) {
+      rec_.begin(spec());
+      const std::uint32_t lo = w * ws;
+      const std::uint32_t count = std::min(bdim_, (w + 1) * ws) - lo;
+      // Lanes also run in scrambled order: hardware lockstep means a
+      // lane's reads happen before its siblings' same-instruction writes
+      // land, so in-id-order emulation would overstate how far values
+      // chain through a warp within one sweep.
+      const std::uint32_t lstep = detail::coprime_step(count);
+      std::uint32_t li = 0;
+      for (std::uint32_t j = 0; j < count; ++j) {
+        const std::uint32_t tid = lo + li;
+        rec_.set_lane(static_cast<int>(tid % ws));
+        Thread t(rec_, tid, bidx_, bdim_, gdim_, warp_size_);
+        fn(t);
+        li += lstep;
+        if (li >= count) li -= count;
+      }
+      rec_.flush(dev_);
+      w += step;
+      if (w >= warps) w -= warps;
+    }
+  }
+
+  /// __syncthreads between two for_each_thread regions: charges every warp
+  /// of the block the barrier cost.
+  void sync();
+
+  /// Shared-memory scratch array, zero-initialized, valid for the rest of
+  /// this block's execution. Accesses are charged like register/L1 traffic
+  /// (cheap), so kernels may index the span directly.
+  template <typename T>
+  std::span<T> shared_array(std::size_t count) {
+    shared_.emplace_back(count * sizeof(T));
+    return {reinterpret_cast<T*>(shared_.back().data()), count};
+  }
+
+  /// Shared-memory (block-scope) atomic add, paper Listing 10b. Serializes
+  /// within the block like hardware shared-memory atomics to one address.
+  template <typename T>
+  T atomic_add_block(Thread& t, T& target, T v) {
+    t.work(1);
+    block_serial_cycles_ += block_atomic_cycles();
+    const T old = target;
+    target = old + v;
+    return old;
+  }
+
+  /// Cooperative warp+block tree sum over per-thread values (the paper's
+  /// reduction-add, Listing 10c): log2(warp_size) shuffle steps per warp
+  /// plus a shared-memory combine. Returns the block total.
+  double reduce_add(std::span<const double> per_thread_values);
+
+  // internal use by Device::launch
+  void begin_block(std::uint32_t bidx);
+  void end_block();
+
+ private:
+  [[nodiscard]] const DeviceSpec& spec() const;
+  [[nodiscard]] double block_atomic_cycles() const;
+
+  Device& dev_;
+  detail::WarpRecorder rec_;
+  std::uint32_t bidx_ = 0, bdim_, gdim_;
+  int warp_size_;
+  double block_serial_cycles_ = 0;
+  std::vector<std::vector<std::byte>> shared_;
+};
+
+/// One simulated GPU. Accumulates simulated elapsed time across launches;
+/// one Device instance corresponds to one timed program execution.
+class Device {
+ public:
+  explicit Device(const DeviceSpec& spec);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+  /// Wraps host memory as a global-memory array (the "device copy"; no
+  /// transfer is simulated because the paper times kernels, not copies).
+  template <typename T>
+  DeviceArray<T> array(std::span<T> data) {
+    return DeviceArray<T>(data);
+  }
+
+  /// Runs `fn(Block&)` for every block of the grid and charges the modeled
+  /// kernel time. Blocks execute one at a time, but in a scrambled
+  /// (deterministic) order: executing them in index order would let
+  /// in-place value updates propagate through the whole graph within one
+  /// kernel - a Gauss-Seidel effect thousands of concurrent blocks on a
+  /// real GPU do not exhibit. The scrambled order caps in-sweep
+  /// propagation the way hardware concurrency does, so iteration counts of
+  /// the non-deterministic styles stay realistic.
+  template <typename BlockFn>
+  void launch(std::uint32_t grid_dim, std::uint32_t block_dim, BlockFn&& fn) {
+    assert(block_dim > 0 && block_dim <= 1024);
+    stats_.reset();
+    hotspot_.assign(hotspot_.size(), 0);
+    Block blk(*this, block_dim, grid_dim);
+    const std::uint32_t step = detail::coprime_step(grid_dim);
+    std::uint32_t b = 0;
+    for (std::uint32_t i = 0; i < grid_dim; ++i) {
+      blk.begin_block(b);
+      fn(blk);
+      blk.end_block();
+      b += step;
+      if (b >= grid_dim) b -= grid_dim;
+    }
+    finalize_launch();
+  }
+
+
+  /// Grid size for the persistent style (paper 2.7): as many threads as the
+  /// device schedules concurrently.
+  [[nodiscard]] std::uint32_t persistent_grid_dim(
+      std::uint32_t block_dim) const {
+    return std::max<std::uint32_t>(1, spec_.concurrent_threads() / block_dim);
+  }
+
+  /// Total simulated seconds across all launches so far.
+  [[nodiscard]] double elapsed_seconds() const { return elapsed_s_; }
+  /// Number of kernel launches so far.
+  [[nodiscard]] std::uint64_t launches() const { return launches_; }
+  /// Stats of the most recent launch (for tests and model inspection).
+  [[nodiscard]] const LaunchStats& last_stats() const { return last_stats_; }
+
+  // internal: accounting sinks used by WarpRecorder / Block
+  void add_compute_cycles(double c) { stats_.compute_cycles += c; }
+  void add_fence_cycles(double c) { stats_.fence_cycles += c; }
+  void add_transactions(std::uint64_t n) { stats_.transactions += n; }
+  void add_barriers(std::uint64_t n) { stats_.barriers += n; }
+  void note_atomic_chain(std::uint64_t addr, double cycles);
+
+ private:
+  void finalize_launch();
+
+  DeviceSpec spec_;
+  LaunchStats stats_;
+  LaunchStats last_stats_;
+  std::vector<double> hotspot_;  // same-address atomic chains, hashed
+  double elapsed_s_ = 0;
+  std::uint64_t launches_ = 0;
+};
+
+}  // namespace indigo::vcuda

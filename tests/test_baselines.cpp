@@ -1,0 +1,112 @@
+// Tests for the optimized baseline codes (Section 5.17): every baseline
+// must match the serial reference (MIS by property, since Luby's set is a
+// different valid maximal independent set).
+#include <gtest/gtest.h>
+
+#include "algorithms/serial/serial.hpp"
+#include "baselines/baselines.hpp"
+#include "graph/generate.hpp"
+#include "vcuda/device_spec.hpp"
+
+namespace indigo {
+namespace {
+
+class BaselineTest : public testing::TestWithParam<InputClass> {
+ protected:
+  Graph graph_ = make_input(GetParam(), 8);
+  RunOptions opts_ = [] {
+    RunOptions o;
+    o.num_threads = 3;
+    return o;
+  }();
+};
+
+TEST_P(BaselineTest, CpuBfsMatchesSerial) {
+  const auto r = baselines::cpu_bfs(graph_, opts_);
+  EXPECT_EQ(r.output.labels, serial::bfs(graph_, 0));
+}
+
+TEST_P(BaselineTest, CpuSsspMatchesSerial) {
+  const auto r = baselines::cpu_sssp(graph_, opts_);
+  EXPECT_EQ(r.output.labels, serial::sssp(graph_, 0));
+}
+
+TEST_P(BaselineTest, CpuCcMatchesSerial) {
+  const auto r = baselines::cpu_cc(graph_, opts_);
+  EXPECT_EQ(r.output.labels, serial::cc(graph_));
+}
+
+TEST_P(BaselineTest, CpuMisIsValidMaximalIndependentSet) {
+  const auto r = baselines::cpu_mis(graph_, opts_);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(baselines::verify_mis_properties(graph_, r.output.labels), "");
+}
+
+TEST_P(BaselineTest, CpuPrMatchesSerialWithinTolerance) {
+  const auto r = baselines::cpu_pr(graph_, opts_);
+  const auto ref = serial::pagerank(graph_);
+  ASSERT_EQ(r.output.ranks.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(r.output.ranks[i], ref[i],
+                2e-3 * ref[i] + 1e-2 / static_cast<double>(ref.size()));
+  }
+}
+
+TEST_P(BaselineTest, CpuTcMatchesSerial) {
+  const auto r = baselines::cpu_tc(graph_, opts_);
+  EXPECT_EQ(r.output.count, serial::tc(graph_));
+}
+
+TEST_P(BaselineTest, GpuBaselinesMatchSerial) {
+  const vcuda::DeviceSpec spec = vcuda::rtx3090_like();
+  RunOptions opts = opts_;
+  opts.device = &spec;
+  EXPECT_EQ(baselines::gpu_bfs(graph_, opts).output.labels,
+            serial::bfs(graph_, 0));
+  EXPECT_EQ(baselines::gpu_sssp(graph_, opts).output.labels,
+            serial::sssp(graph_, 0));
+  EXPECT_EQ(baselines::gpu_cc(graph_, opts).output.labels, serial::cc(graph_));
+  EXPECT_EQ(baselines::gpu_tc(graph_, opts).output.count, serial::tc(graph_));
+  const auto pr = baselines::gpu_pr(graph_, opts);
+  const auto ref = serial::pagerank(graph_);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(pr.output.ranks[i], ref[i],
+                2e-3 * ref[i] + 1e-2 / static_cast<double>(ref.size()));
+  }
+  // GPU baselines report simulated time.
+  EXPECT_GT(pr.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputClasses, BaselineTest,
+                         testing::ValuesIn(std::vector<InputClass>(
+                             std::begin(kAllInputs), std::end(kAllInputs))),
+                         [](const testing::TestParamInfo<InputClass>& info) {
+                           return input_class_name(info.param);
+                         });
+
+TEST(BaselineDispatch, AvailabilityMatchesThePaper) {
+  EXPECT_FALSE(baselines::baseline_available(Model::Cuda, Algorithm::MIS));
+  EXPECT_TRUE(baselines::baseline_available(Model::OpenMP, Algorithm::MIS));
+  EXPECT_TRUE(baselines::baseline_available(Model::Cuda, Algorithm::BFS));
+  const Graph g = make_rmat(6);
+  RunOptions opts;
+  opts.num_threads = 2;
+  EXPECT_THROW(baselines::run_baseline(Model::Cuda, Algorithm::MIS, g, opts),
+               std::invalid_argument);
+  EXPECT_NO_THROW(
+      baselines::run_baseline(Model::OpenMP, Algorithm::CC, g, opts));
+}
+
+TEST(MisPropertyChecker, DetectsViolations) {
+  GraphBuilder b(3, "p3");
+  b.add_undirected(0, 1);
+  b.add_undirected(1, 2);
+  const Graph g = b.finish();
+  EXPECT_EQ(baselines::verify_mis_properties(g, {1, 0, 1}), "");
+  EXPECT_NE(baselines::verify_mis_properties(g, {1, 1, 0}), "");  // adjacent
+  EXPECT_NE(baselines::verify_mis_properties(g, {0, 0, 1}), "");  // 0 uncovered
+  EXPECT_NE(baselines::verify_mis_properties(g, {1, 0}), "");     // size
+}
+
+}  // namespace
+}  // namespace indigo

@@ -1,0 +1,82 @@
+// End-to-end tests of the bench Harness: sweeps produce verified
+// measurements, and the measurement cache round-trips across instances.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util/harness.hpp"
+
+namespace indigo::bench {
+namespace {
+
+class HarnessCacheTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Tiny inputs and a private cache file for this test.
+    setenv("REPRO_SCALE", "0", 1);
+    cache_path_ = std::string("harness_cache_test_") +
+                  std::to_string(::getpid()) + ".csv";
+    setenv("REPRO_CACHE", cache_path_.c_str(), 1);
+  }
+  void TearDown() override {
+    std::remove(cache_path_.c_str());
+    unsetenv("REPRO_CACHE");
+    unsetenv("REPRO_SCALE");
+  }
+  std::string cache_path_;
+};
+
+TEST_F(HarnessCacheTest, SweepVerifiesAndCachesAcrossInstances) {
+  SweepOptions sw;
+  sw.model = Model::OpenMP;
+  sw.algo = Algorithm::TC;
+
+  double first_throughput = 0;
+  {
+    Harness h;
+    ASSERT_EQ(h.graphs().size(), 5u);
+    const auto ms = h.sweep(sw);
+    ASSERT_EQ(ms.size(), 12u * 5u);  // 12 OpenMP TC programs x 5 inputs
+    for (const Measurement& m : ms) {
+      EXPECT_TRUE(m.verified) << m.program << " on " << m.graph << ": "
+                              << m.error;
+      EXPECT_GT(m.throughput_ges, 0.0);
+    }
+    first_throughput = ms.front().throughput_ges;
+  }
+  {
+    // A fresh Harness must serve the identical numbers from the cache.
+    Harness h;
+    const auto ms = h.sweep(sw);
+    ASSERT_FALSE(ms.empty());
+    EXPECT_DOUBLE_EQ(ms.front().throughput_ges, first_throughput);
+  }
+}
+
+TEST_F(HarnessCacheTest, StyleFilterNarrowsTheSweep) {
+  Harness h;
+  SweepOptions sw;
+  sw.model = Model::OpenMP;
+  sw.algo = Algorithm::TC;
+  sw.style_filter = [](const Variant& v) {
+    return v.style.cred == CpuReduction::Clause;
+  };
+  const auto ms = h.sweep(sw);
+  EXPECT_EQ(ms.size(), 4u * 5u);  // flow(2) x sched(2) x 5 inputs
+  for (const Measurement& m : ms) {
+    EXPECT_EQ(m.style.cred, CpuReduction::Clause);
+  }
+}
+
+TEST_F(HarnessCacheTest, BaseRunOptionsCarryDeviceAndThreads) {
+  Harness h;
+  const vcuda::DeviceSpec spec = vcuda::titanv_like();
+  const RunOptions opts = h.base_run_options(&spec);
+  EXPECT_EQ(opts.device, &spec);
+  EXPECT_GE(opts.num_threads, 2);
+  EXPECT_EQ(opts.source, 0u);
+}
+
+}  // namespace
+}  // namespace indigo::bench

@@ -1,0 +1,109 @@
+// Tests for the Verifier, measure(), and the Registry plumbing.
+#include <gtest/gtest.h>
+
+#include "algorithms/serial/serial.hpp"
+#include "core/registry.hpp"
+#include "core/runner.hpp"
+#include "graph/generate.hpp"
+#include "variants/register_all.hpp"
+
+namespace indigo {
+namespace {
+
+TEST(Verifier, AcceptsSerialOutputs) {
+  const Graph g = make_rmat(7);
+  Verifier ver(g, 0);
+  AlgoOutput out;
+  out.labels = serial::bfs(g, 0);
+  EXPECT_EQ(ver.check(Algorithm::BFS, out), "");
+  out.labels = serial::sssp(g, 0);
+  EXPECT_EQ(ver.check(Algorithm::SSSP, out), "");
+  out.labels = serial::cc(g);
+  EXPECT_EQ(ver.check(Algorithm::CC, out), "");
+  const auto mis = serial::mis(g);
+  out.labels.assign(mis.begin(), mis.end());
+  EXPECT_EQ(ver.check(Algorithm::MIS, out), "");
+  out.ranks = serial::pagerank(g);
+  EXPECT_EQ(ver.check(Algorithm::PR, out), "");
+  AlgoOutput tc_out;
+  tc_out.count = serial::tc(g);
+  EXPECT_EQ(ver.check(Algorithm::TC, tc_out), "");
+}
+
+TEST(Verifier, RejectsCorruptedOutputs) {
+  const Graph g = make_rmat(7);
+  Verifier ver(g, 0);
+  AlgoOutput out;
+  out.labels = serial::bfs(g, 0);
+  out.labels[3] += 1;
+  EXPECT_NE(ver.check(Algorithm::BFS, out), "");
+  out.labels = serial::cc(g);
+  out.labels.pop_back();
+  EXPECT_NE(ver.check(Algorithm::CC, out), "");
+  AlgoOutput tc_out;
+  tc_out.count = serial::tc(g) + 1;
+  EXPECT_NE(ver.check(Algorithm::TC, tc_out), "");
+  out.ranks = serial::pagerank(g);
+  out.ranks[0] += 0.5f;
+  EXPECT_NE(ver.check(Algorithm::PR, out), "");
+}
+
+TEST(Verifier, RejectsNonMaximalMis) {
+  const Graph g = make_rmat(7);
+  Verifier ver(g, 0);
+  AlgoOutput out;
+  out.labels.assign(g.num_vertices(), 0);  // empty set: independent but
+  EXPECT_NE(ver.check(Algorithm::MIS, out), "");  // not the greedy MIS
+}
+
+TEST(Measure, ProducesVerifiedThroughput) {
+  variants::register_all_variants();
+  const Graph g = make_grid2d(8);
+  Verifier ver(g, 0);
+  const Variant* v = nullptr;
+  for (const Variant& cand : Registry::instance().all()) {
+    if (cand.model == Model::OpenMP && cand.algo == Algorithm::BFS) {
+      v = &cand;
+      break;
+    }
+  }
+  ASSERT_NE(v, nullptr);
+  RunOptions opts;
+  opts.num_threads = 2;
+  const Measurement m = measure(*v, g, opts, 3, ver);
+  EXPECT_TRUE(m.verified) << m.error;
+  EXPECT_GT(m.seconds, 0.0);
+  EXPECT_GT(m.throughput_ges, 0.0);
+  EXPECT_NEAR(m.throughput_ges,
+              static_cast<double>(g.num_edges()) / m.seconds / 1e9, 1e-9);
+  EXPECT_EQ(m.graph, g.name());
+}
+
+TEST(Registry, SelectFiltersByModelAndAlgorithm) {
+  variants::register_all_variants();
+  const auto& reg = Registry::instance();
+  const auto omp_all = reg.select(Model::OpenMP);
+  const auto omp_tc = reg.select(Model::OpenMP, Algorithm::TC);
+  EXPECT_GT(omp_all.size(), omp_tc.size());
+  EXPECT_EQ(omp_tc.size(), 12u);
+  for (const Variant* v : omp_tc) {
+    EXPECT_EQ(v->model, Model::OpenMP);
+    EXPECT_EQ(v->algo, Algorithm::TC);
+  }
+  const auto everything = reg.select();
+  EXPECT_EQ(everything.size(), reg.size());
+}
+
+TEST(Registry, RejectsDuplicates) {
+  Registry reg;  // fresh local registry
+  Variant v;
+  v.model = Model::OpenMP;
+  v.algo = Algorithm::TC;
+  v.name = "dup";
+  v.run = [](const Graph&, const RunOptions&) { return RunResult{}; };
+  reg.add(v);
+  EXPECT_THROW(reg.add(v), std::logic_error);
+}
+
+}  // namespace
+}  // namespace indigo

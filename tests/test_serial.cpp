@@ -1,0 +1,161 @@
+// Tests for the serial reference algorithms on hand-checkable graphs plus
+// cross-validation properties on generated inputs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algorithms/serial/serial.hpp"
+#include "graph/generate.hpp"
+
+namespace indigo {
+namespace {
+
+/// 0-1-2-3 path with weights 2,3,4 plus a chord 0-3 of weight 10 and an
+/// isolated vertex 4.
+Graph path_graph() {
+  GraphBuilder b(5, "path");
+  b.add_undirected(0, 1, 2);
+  b.add_undirected(1, 2, 3);
+  b.add_undirected(2, 3, 4);
+  b.add_undirected(0, 3, 10);
+  return b.finish();
+}
+
+TEST(SerialBfs, HandComputed) {
+  const auto d = serial::bfs(path_graph(), 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 1u);  // chord
+  EXPECT_EQ(d[4], kInfDist);
+}
+
+TEST(SerialSssp, HandComputed) {
+  const auto d = serial::sssp(path_graph(), 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 2u);
+  EXPECT_EQ(d[2], 5u);
+  EXPECT_EQ(d[3], 9u);  // 2+3+4 beats the chord's 10
+  EXPECT_EQ(d[4], kInfDist);
+}
+
+TEST(SerialSssp, DistancesRespectTriangleInequality) {
+  const Graph g = make_rmat(9);
+  const auto d = serial::sssp(g, 0);
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    const vid_t u = g.arc_src(e), v = g.arc_dst(e);
+    if (d[u] == kInfDist) continue;
+    EXPECT_LE(d[v], d[u] + g.arc_weight(e));
+  }
+}
+
+TEST(SerialBfs, HopsLowerBoundWeightedDistance) {
+  const Graph g = make_roadnet(8);
+  const auto hops = serial::bfs(g, 0);
+  const auto dist = serial::sssp(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (hops[v] == kInfDist) {
+      EXPECT_EQ(dist[v], kInfDist);
+    } else {
+      EXPECT_GE(dist[v], hops[v]);  // weights >= 1
+      EXPECT_LE(dist[v], hops[v] * 255u);
+    }
+  }
+}
+
+TEST(SerialCc, LabelsAreComponentMinima) {
+  const auto labels = serial::cc(path_graph());
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 0u);
+  EXPECT_EQ(labels[4], 4u);
+}
+
+TEST(SerialCc, LabelsConsistentAcrossEdges) {
+  const Graph g = make_rmat(9);
+  const auto labels = serial::cc(g);
+  for (eid_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(labels[g.arc_src(e)], labels[g.arc_dst(e)]);
+  }
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(labels[v], v);                    // min-id labeling
+    EXPECT_EQ(labels[labels[v]], labels[v]);    // labels are roots
+  }
+}
+
+TEST(SerialMis, IsIndependentAndMaximal) {
+  for (unsigned scale : {6u, 8u}) {
+    const Graph g = make_social(scale);
+    const auto in_set = serial::mis(g);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      bool any_in = false;
+      for (vid_t u : g.neighbors(v)) {
+        any_in |= in_set[u] != 0;
+        EXPECT_FALSE(in_set[v] && in_set[u]) << "not independent";
+      }
+      if (!in_set[v]) {
+        EXPECT_TRUE(any_in) << "not maximal at " << v;
+      }
+    }
+  }
+}
+
+TEST(SerialMis, IsTheGreedyPrioritySet) {
+  // The highest-priority vertex overall must always be in the set.
+  const Graph g = make_copaper(6);
+  const auto in_set = serial::mis(g);
+  vid_t best = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (serial::mis_priority(v) > serial::mis_priority(best)) best = v;
+  }
+  EXPECT_EQ(in_set[best], 1);
+}
+
+TEST(SerialPagerank, SumsToReachableMassAndIsUniform) {
+  // On a regular graph (ring), PageRank is exactly uniform.
+  const vid_t n = 64;
+  GraphBuilder b(n, "ring");
+  for (vid_t v = 0; v < n; ++v) b.add_undirected(v, (v + 1) % n);
+  const auto pr = serial::pagerank(b.finish());
+  for (vid_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(pr[v], 1.0 / n, 1e-6);
+  }
+}
+
+TEST(SerialPagerank, HubOutranksLeaves) {
+  GraphBuilder b(5, "star");
+  for (vid_t v = 1; v < 5; ++v) b.add_undirected(0, v);
+  const auto pr = serial::pagerank(b.finish());
+  for (vid_t v = 1; v < 5; ++v) {
+    EXPECT_GT(pr[0], pr[v]);
+    EXPECT_NEAR(pr[v], pr[1], 1e-7);  // leaves are symmetric
+  }
+}
+
+TEST(SerialTc, HandComputed) {
+  // Two triangles sharing an edge: {0,1,2} and {1,2,3}.
+  GraphBuilder b(4, "bowtie");
+  b.add_undirected(0, 1);
+  b.add_undirected(1, 2);
+  b.add_undirected(0, 2);
+  b.add_undirected(1, 3);
+  b.add_undirected(2, 3);
+  EXPECT_EQ(serial::tc(b.finish()), 2u);
+}
+
+TEST(SerialTc, CompleteGraphHasChoose3) {
+  const vid_t n = 9;
+  GraphBuilder b(n, "k9");
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) b.add_undirected(u, v);
+  }
+  EXPECT_EQ(serial::tc(b.finish()), 84u);  // C(9,3)
+}
+
+TEST(SerialTc, GridHasNoTriangles) {
+  EXPECT_EQ(serial::tc(make_grid2d(8)), 0u);
+}
+
+}  // namespace
+}  // namespace indigo

@@ -1,0 +1,126 @@
+// Unit and property tests for the statistics module backing the figures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "stats/summary.hpp"
+
+namespace indigo::stats {
+namespace {
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  const std::vector<double> one{7};
+  EXPECT_DOUBLE_EQ(quantile(one, 0.9), 7.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(Geomean, MatchesClosedForm) {
+  EXPECT_NEAR(geomean(std::vector<double>{1, 100}), 10.0, 1e-12);
+  EXPECT_NEAR(geomean(std::vector<double>{2, 2, 2}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Pearson, PerfectAndAnticorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+  const std::vector<double> c{5, 5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);  // degenerate
+}
+
+TEST(LetterValues, MedianAndQuartilesOfUniformRamp) {
+  std::vector<double> data(1000);
+  for (int i = 0; i < 1000; ++i) data[static_cast<std::size_t>(i)] = i;
+  const LetterValues lv = letter_values(data);
+  EXPECT_EQ(lv.count, 1000u);
+  EXPECT_NEAR(lv.median, 499.5, 1e-9);
+  ASSERT_GE(lv.lower.size(), 1u);
+  EXPECT_NEAR(lv.lower[0], 249.75, 1e-9);  // lower fourth
+  EXPECT_NEAR(lv.upper[0], 749.25, 1e-9);  // upper fourth
+  // Depths halve the tail each level and stop before < 4 points remain.
+  EXPECT_GT(lv.lower.size(), 3u);
+  EXPECT_EQ(lv.lower.size(), lv.upper.size());
+}
+
+TEST(LetterValues, NestedBoxesAreMonotone) {
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(0.0, 2.0);
+  std::vector<double> data(5000);
+  for (auto& d : data) d = dist(rng);
+  const LetterValues lv = letter_values(data);
+  for (std::size_t i = 1; i < lv.lower.size(); ++i) {
+    EXPECT_LE(lv.lower[i], lv.lower[i - 1]);
+    EXPECT_GE(lv.upper[i], lv.upper[i - 1]);
+  }
+  EXPECT_GE(lv.lower[0], lv.min);
+  EXPECT_LE(lv.upper[0], lv.max);
+}
+
+TEST(LetterValues, OutliersLieBeyondOutermostBox) {
+  std::vector<double> data(100, 1.0);
+  data.push_back(1e6);
+  const LetterValues lv = letter_values(data);
+  ASSERT_FALSE(lv.outliers.empty());
+  EXPECT_DOUBLE_EQ(lv.outliers.back(), 1e6);
+}
+
+TEST(RenderBoxen, ProducesReferenceLineAndLabels) {
+  std::vector<NamedSample> samples;
+  samples.push_back({"cc", {0.5, 1.0, 2.0, 4.0}});
+  samples.push_back({"sssp", {10.0, 100.0}});
+  const std::string out = render_boxen(samples);
+  EXPECT_NE(out.find("cc"), std::string::npos);
+  EXPECT_NE(out.find("sssp"), std::string::npos);
+  EXPECT_NE(out.find('='), std::string::npos);   // medians
+  EXPECT_NE(out.find("1e0"), std::string::npos); // decade tick
+}
+
+TEST(RenderBoxen, HandlesEmptyData) {
+  EXPECT_EQ(render_boxen({}), "(no data)\n");
+  std::vector<NamedSample> samples;
+  samples.push_back({"empty", {}});
+  EXPECT_EQ(render_boxen(samples), "(no data)\n");
+}
+
+TEST(RenderSummaryTable, ContainsAllColumns) {
+  std::vector<NamedSample> samples;
+  samples.push_back({"a", {1, 2, 3, 4, 5}});
+  const std::string out = render_summary_table(samples);
+  EXPECT_NE(out.find("median"), std::string::npos);
+  EXPECT_NE(out.find("geomean"), std::string::npos);
+  EXPECT_NE(out.find("3.000"), std::string::npos);
+}
+
+// Property: quantile is monotone in q for random data.
+TEST(QuantileProperty, MonotoneInQ) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-100, 100);
+  std::vector<double> data(777);
+  for (auto& d : data) d = dist(rng);
+  std::sort(data.begin(), data.end());
+  double prev = quantile(data, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(data, q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace indigo::stats

@@ -1,0 +1,162 @@
+// Tests for the style taxonomy and the Table-2 validity rules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/registry.hpp"
+#include "core/styles.hpp"
+#include "core/validity.hpp"
+#include "variants/register_all.hpp"
+
+namespace indigo {
+namespace {
+
+TEST(Styles, NamesAreStable) {
+  StyleConfig c;
+  c.flow = Flow::Edge;
+  c.drive = Drive::DataNoDup;
+  c.dir = Direction::Push;
+  c.upd = Update::ReadModifyWrite;
+  c.det = Determinism::NonDet;
+  c.osched = OmpSched::Dynamic;
+  EXPECT_EQ(program_name(Model::OpenMP, Algorithm::SSSP, c),
+            "sssp-omp-edge-data_nodup-push-rmw-nondet-dynamic");
+}
+
+TEST(Styles, NameOmitsNonApplicableDimensions) {
+  const StyleConfig c;  // defaults
+  const std::string name = program_name(Model::OpenMP, Algorithm::TC, c);
+  // TC has no drive/direction/det dimension; OpenMP has no granularity.
+  EXPECT_EQ(name, "tc-omp-vertex-atomic_red-default");
+}
+
+TEST(Validity, Table2ApplicabilityMatrix) {
+  // Spot checks against the paper's Table 2.
+  EXPECT_FALSE(
+      dimension_applies(Model::Cuda, Algorithm::PR, Dimension::Flow));
+  EXPECT_FALSE(
+      dimension_applies(Model::Cuda, Algorithm::TC, Dimension::Drive));
+  EXPECT_FALSE(
+      dimension_applies(Model::Cuda, Algorithm::TC, Dimension::Direction));
+  EXPECT_FALSE(
+      dimension_applies(Model::Cuda, Algorithm::MIS, Dimension::Update));
+  EXPECT_FALSE(
+      dimension_applies(Model::Cuda, Algorithm::PR, Dimension::AtomicsLib));
+  EXPECT_TRUE(
+      dimension_applies(Model::Cuda, Algorithm::SSSP, Dimension::Update));
+  EXPECT_FALSE(dimension_applies(Model::OpenMP, Algorithm::SSSP,
+                                 Dimension::Granularity));
+  EXPECT_FALSE(
+      dimension_applies(Model::OpenMP, Algorithm::SSSP, Dimension::CppSched));
+  EXPECT_TRUE(
+      dimension_applies(Model::CppThreads, Algorithm::CC, Dimension::CppSched));
+  EXPECT_TRUE(
+      dimension_applies(Model::Cuda, Algorithm::TC, Dimension::GpuReduction));
+  EXPECT_FALSE(
+      dimension_applies(Model::Cuda, Algorithm::BFS, Dimension::GpuReduction));
+}
+
+TEST(Validity, PairingConstraints) {
+  StyleConfig c;
+  // Pull requires topology-driven.
+  c.dir = Direction::Pull;
+  c.drive = Drive::DataDup;
+  EXPECT_FALSE(is_valid(Model::OpenMP, Algorithm::SSSP, c));
+  c.drive = Drive::Topology;
+  EXPECT_TRUE(is_valid(Model::OpenMP, Algorithm::SSSP, c));
+  // Read-write requires non-deterministic and topology-driven.
+  c = StyleConfig{};
+  c.upd = Update::ReadWrite;
+  c.det = Determinism::Det;
+  EXPECT_FALSE(is_valid(Model::OpenMP, Algorithm::SSSP, c));
+  c.det = Determinism::NonDet;
+  c.drive = Drive::DataDup;
+  EXPECT_FALSE(is_valid(Model::OpenMP, Algorithm::SSSP, c));
+  c.drive = Drive::Topology;
+  EXPECT_TRUE(is_valid(Model::OpenMP, Algorithm::SSSP, c));
+  // MIS has no duplicate worklists.
+  c = StyleConfig{};
+  c.drive = Drive::DataDup;
+  EXPECT_FALSE(is_valid(Model::OpenMP, Algorithm::MIS, c));
+  // Push PR must be deterministic (Section 5.6).
+  c = StyleConfig{};
+  c.dir = Direction::Push;
+  c.det = Determinism::NonDet;
+  EXPECT_FALSE(is_valid(Model::OpenMP, Algorithm::PR, c));
+  c.det = Determinism::Det;
+  EXPECT_TRUE(is_valid(Model::OpenMP, Algorithm::PR, c));
+}
+
+TEST(Validity, NonApplicableDimensionsArePinned) {
+  StyleConfig c;
+  c.gran = Granularity::Warp;  // GPU-only dimension
+  EXPECT_FALSE(is_valid(Model::OpenMP, Algorithm::SSSP, c));
+  c = StyleConfig{};
+  c.cred = CpuReduction::Clause;  // reduction only exists for TC/PR
+  EXPECT_FALSE(is_valid(Model::OpenMP, Algorithm::SSSP, c));
+}
+
+TEST(Validity, DimensionAccessorsRoundTrip) {
+  StyleConfig c;
+  for (Dimension d : kAllDimensions) {
+    for (int v = 0; v < dimension_cardinality(d); ++v) {
+      const StyleConfig c2 = with_dimension(c, d, v);
+      EXPECT_EQ(get_dimension(c2, d), v) << to_string(d);
+    }
+  }
+}
+
+TEST(Registry, NoDuplicateProgramsAndNamesAreUnique) {
+  variants::register_all_variants();
+  std::set<std::string> names;
+  for (const Variant& v : Registry::instance().all()) {
+    EXPECT_TRUE(names.insert(v.name).second) << "duplicate " << v.name;
+    EXPECT_TRUE(is_valid(v.model, v.algo, v.style)) << v.name;
+  }
+}
+
+TEST(Registry, EveryValidConfigIsRegistered) {
+  variants::register_all_variants();
+  // Exhaustively enumerate the style space and check the registry has
+  // exactly the valid points (no drop-outs in the generator nesting).
+  std::size_t valid = 0;
+  for (Model m : kAllModels) {
+    for (Algorithm a : kAllAlgorithms) {
+      StyleConfig c;
+      for (int f = 0; f < 2; ++f)
+      for (int dr = 0; dr < 3; ++dr)
+      for (int di = 0; di < 2; ++di)
+      for (int up = 0; up < 2; ++up)
+      for (int de = 0; de < 2; ++de)
+      for (int pe = 0; pe < 2; ++pe)
+      for (int gr = 0; gr < 3; ++gr)
+      for (int al = 0; al < 2; ++al)
+      for (int gq = 0; gq < 3; ++gq)
+      for (int cr = 0; cr < 3; ++cr)
+      for (int os = 0; os < 2; ++os)
+      for (int cs = 0; cs < 2; ++cs) {
+        c.flow = static_cast<Flow>(f);
+        c.drive = static_cast<Drive>(dr);
+        c.dir = static_cast<Direction>(di);
+        c.upd = static_cast<Update>(up);
+        c.det = static_cast<Determinism>(de);
+        c.pers = static_cast<Persistence>(pe);
+        c.gran = static_cast<Granularity>(gr);
+        c.alib = static_cast<AtomicsLib>(al);
+        c.gred = static_cast<GpuReduction>(gq);
+        c.cred = static_cast<CpuReduction>(cr);
+        c.osched = static_cast<OmpSched>(os);
+        c.csched = static_cast<CppSched>(cs);
+        if (is_valid(m, a, c)) {
+          ++valid;
+          EXPECT_NE(Registry::instance().find(m, a, c), nullptr)
+              << program_name(m, a, c);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(valid, Registry::instance().size());
+}
+
+}  // namespace
+}  // namespace indigo

@@ -1,0 +1,150 @@
+// Property tests of the vcuda variant kernels as a family: every
+// granularity/persistence/atomics-library flavour of the same algorithm
+// must compute identical results (they differ only in cost), and the
+// timing model must respond sensibly to the style changes the paper
+// studies.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/runner.hpp"
+#include "graph/generate.hpp"
+#include "variants/register_all.hpp"
+#include "vcuda/device_spec.hpp"
+
+namespace indigo {
+namespace {
+
+class VcudaKernels : public testing::Test {
+ protected:
+  static void SetUpTestSuite() { variants::register_all_variants(); }
+  vcuda::DeviceSpec spec_ = vcuda::rtx3090_like();
+  RunOptions opts() {
+    RunOptions o;
+    o.device = &spec_;
+    return o;
+  }
+};
+
+TEST_F(VcudaKernels, AllStylesOfOneAlgorithmAgreeExactly) {
+  const Graph g = make_social(9);
+  RunOptions o = opts();
+  for (Algorithm a : {Algorithm::BFS, Algorithm::SSSP, Algorithm::CC,
+                      Algorithm::MIS}) {
+    const auto sel = Registry::instance().select(Model::Cuda, a);
+    ASSERT_FALSE(sel.empty());
+    const RunResult ref = sel.front()->run(g, o);
+    for (const Variant* v : sel) {
+      const RunResult r = v->run(g, o);
+      ASSERT_EQ(r.output.labels, ref.output.labels)
+          << v->name << " disagrees with " << sel.front()->name;
+    }
+  }
+}
+
+TEST_F(VcudaKernels, TriangleCountIdenticalAcrossAllSeventyTwoStyles) {
+  const Graph g = make_copaper(7);
+  RunOptions o = opts();
+  const auto sel = Registry::instance().select(Model::Cuda, Algorithm::TC);
+  EXPECT_EQ(sel.size(), 72u);
+  const std::uint64_t ref = sel.front()->run(g, o).output.count;
+  EXPECT_GT(ref, 0u);
+  for (const Variant* v : sel) {
+    EXPECT_EQ(v->run(g, o).output.count, ref) << v->name;
+  }
+}
+
+TEST_F(VcudaKernels, CudaAtomicStyleIsSlowerNeverWrong) {
+  const Graph g = make_rmat(9);
+  RunOptions o = opts();
+  int compared = 0;
+  for (const Variant* v :
+       Registry::instance().select(Model::Cuda, Algorithm::SSSP)) {
+    if (v->style.alib != AtomicsLib::Classic) continue;
+    StyleConfig other = v->style;
+    other.alib = AtomicsLib::CudaAtomic;
+    const Variant* w =
+        Registry::instance().find(Model::Cuda, Algorithm::SSSP, other);
+    if (w == nullptr) continue;
+    const RunResult rv = v->run(g, o);
+    const RunResult rw = w->run(g, o);
+    EXPECT_EQ(rv.output.labels, rw.output.labels) << v->name;
+    EXPECT_GT(rw.seconds, rv.seconds) << v->name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 50);
+}
+
+TEST_F(VcudaKernels, DeterministicStyleCostsIterationsOrTime) {
+  // The two-array style pays a refresh kernel per iteration; on any input
+  // it must never be faster than its non-deterministic sibling by more
+  // than noise (the simulator is deterministic, so: never faster at all).
+  const Graph g = make_grid2d(9);
+  RunOptions o = opts();
+  int compared = 0;
+  for (const Variant* v :
+       Registry::instance().select(Model::Cuda, Algorithm::BFS)) {
+    if (v->style.det != Determinism::NonDet ||
+        v->style.upd == Update::ReadWrite) {
+      continue;  // rw has no det sibling
+    }
+    StyleConfig other = v->style;
+    other.det = Determinism::Det;
+    const Variant* w =
+        Registry::instance().find(Model::Cuda, Algorithm::BFS, other);
+    if (w == nullptr) continue;
+    const RunResult rn = v->run(g, o);
+    const RunResult rd = w->run(g, o);
+    EXPECT_GE(rd.seconds, rn.seconds) << v->name;
+    EXPECT_GE(rd.iterations, rn.iterations) << v->name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST_F(VcudaKernels, TitanVIsSlowerThanRtx3090OnTheSameProgram) {
+  const Graph g = make_rmat(9);
+  const vcuda::DeviceSpec titan = vcuda::titanv_like();
+  StyleConfig c;  // default topo-push-rmw-nondet thread
+  const Variant* v = Registry::instance().find(Model::Cuda, Algorithm::SSSP, c);
+  ASSERT_NE(v, nullptr);
+  RunOptions o = opts();
+  const double t_rtx = v->run(g, o).seconds;
+  o.device = &titan;
+  const double t_titan = v->run(g, o).seconds;
+  // Lower clock and bandwidth: the older device must be slower.
+  EXPECT_GT(t_titan, t_rtx);
+}
+
+TEST_F(VcudaKernels, WorklistStylesDoLessWorkOnHighDiameterInputs) {
+  // Needs a grid big enough that a full topology sweep costs more than a
+  // kernel launch, i.e. where the paper's high-diameter effect can show.
+  const Graph g = make_grid2d(14);
+  RunOptions o = opts();
+  StyleConfig topo;
+  StyleConfig data = topo;
+  data.drive = Drive::DataNoDup;
+  const Variant* vt =
+      Registry::instance().find(Model::Cuda, Algorithm::SSSP, topo);
+  const Variant* vd =
+      Registry::instance().find(Model::Cuda, Algorithm::SSSP, data);
+  ASSERT_NE(vt, nullptr);
+  ASSERT_NE(vd, nullptr);
+  const RunResult rt = vt->run(g, o);
+  const RunResult rd = vd->run(g, o);
+  EXPECT_EQ(rt.output.labels, rd.output.labels);
+  EXPECT_LT(rd.seconds, rt.seconds)
+      << "data-driven must win on a high-diameter grid (paper Fig 4)";
+}
+
+TEST_F(VcudaKernels, SourceParameterIsHonoured) {
+  const Graph g = make_rmat(8);
+  StyleConfig c;
+  const Variant* v = Registry::instance().find(Model::Cuda, Algorithm::BFS, c);
+  RunOptions o = opts();
+  o.source = g.num_vertices() / 2;
+  const RunResult r = v->run(g, o);
+  EXPECT_EQ(r.output.labels[o.source], 0u);
+}
+
+}  // namespace
+}  // namespace indigo
