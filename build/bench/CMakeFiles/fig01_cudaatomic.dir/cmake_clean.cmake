@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cudaatomic.dir/fig01_cudaatomic.cpp.o"
+  "CMakeFiles/fig01_cudaatomic.dir/fig01_cudaatomic.cpp.o.d"
+  "fig01_cudaatomic"
+  "fig01_cudaatomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cudaatomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_vertex_edge.dir/fig02_vertex_edge.cpp.o"
+  "CMakeFiles/fig02_vertex_edge.dir/fig02_vertex_edge.cpp.o.d"
+  "fig02_vertex_edge"
+  "fig02_vertex_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_vertex_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_topo_dd_dup.dir/fig03_topo_dd_dup.cpp.o"
+  "CMakeFiles/fig03_topo_dd_dup.dir/fig03_topo_dd_dup.cpp.o.d"
+  "fig03_topo_dd_dup"
+  "fig03_topo_dd_dup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_topo_dd_dup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

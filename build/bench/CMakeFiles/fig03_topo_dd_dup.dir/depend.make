@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_topo_dd_dup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_topo_dd_nodup.dir/fig04_topo_dd_nodup.cpp.o"
+  "CMakeFiles/fig04_topo_dd_nodup.dir/fig04_topo_dd_nodup.cpp.o.d"
+  "fig04_topo_dd_nodup"
+  "fig04_topo_dd_nodup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_topo_dd_nodup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

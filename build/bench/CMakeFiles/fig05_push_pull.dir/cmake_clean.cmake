@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_push_pull.dir/fig05_push_pull.cpp.o"
+  "CMakeFiles/fig05_push_pull.dir/fig05_push_pull.cpp.o.d"
+  "fig05_push_pull"
+  "fig05_push_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_push_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

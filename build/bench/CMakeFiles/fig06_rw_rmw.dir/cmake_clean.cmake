@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rw_rmw.dir/fig06_rw_rmw.cpp.o"
+  "CMakeFiles/fig06_rw_rmw.dir/fig06_rw_rmw.cpp.o.d"
+  "fig06_rw_rmw"
+  "fig06_rw_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rw_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

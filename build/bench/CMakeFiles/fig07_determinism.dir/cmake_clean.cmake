@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_determinism.dir/fig07_determinism.cpp.o"
+  "CMakeFiles/fig07_determinism.dir/fig07_determinism.cpp.o.d"
+  "fig07_determinism"
+  "fig07_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

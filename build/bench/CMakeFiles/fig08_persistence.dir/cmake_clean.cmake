@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_persistence.dir/fig08_persistence.cpp.o"
+  "CMakeFiles/fig08_persistence.dir/fig08_persistence.cpp.o.d"
+  "fig08_persistence"
+  "fig08_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_granularity.dir/fig09_granularity.cpp.o"
+  "CMakeFiles/fig09_granularity.dir/fig09_granularity.cpp.o.d"
+  "fig09_granularity"
+  "fig09_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_gpu_reductions.cpp" "bench/CMakeFiles/fig10_gpu_reductions.dir/fig10_gpu_reductions.cpp.o" "gcc" "bench/CMakeFiles/fig10_gpu_reductions.dir/fig10_gpu_reductions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/indigo_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/indigo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/variants/CMakeFiles/indigo_variants.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/indigo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/indigo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/indigo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/indigo_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcuda/CMakeFiles/indigo_vcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/indigo_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gpu_reductions.dir/fig10_gpu_reductions.cpp.o"
+  "CMakeFiles/fig10_gpu_reductions.dir/fig10_gpu_reductions.cpp.o.d"
+  "fig10_gpu_reductions"
+  "fig10_gpu_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gpu_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

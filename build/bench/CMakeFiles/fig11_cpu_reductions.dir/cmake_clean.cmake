@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu_reductions.dir/fig11_cpu_reductions.cpp.o"
+  "CMakeFiles/fig11_cpu_reductions.dir/fig11_cpu_reductions.cpp.o.d"
+  "fig11_cpu_reductions"
+  "fig11_cpu_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

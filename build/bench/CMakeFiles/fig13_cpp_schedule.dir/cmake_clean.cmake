@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cpp_schedule.dir/fig13_cpp_schedule.cpp.o"
+  "CMakeFiles/fig13_cpp_schedule.dir/fig13_cpp_schedule.cpp.o.d"
+  "fig13_cpp_schedule"
+  "fig13_cpp_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cpp_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

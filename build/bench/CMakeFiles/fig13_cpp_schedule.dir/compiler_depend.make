@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_cpp_schedule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_best_styles.dir/fig14_best_styles.cpp.o"
+  "CMakeFiles/fig14_best_styles.dir/fig14_best_styles.cpp.o.d"
+  "fig14_best_styles"
+  "fig14_best_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_best_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_combinations.dir/fig15_combinations.cpp.o"
+  "CMakeFiles/fig15_combinations.dir/fig15_combinations.cpp.o.d"
+  "fig15_combinations"
+  "fig15_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

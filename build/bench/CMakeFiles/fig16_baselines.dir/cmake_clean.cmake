@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_baselines.dir/fig16_baselines.cpp.o"
+  "CMakeFiles/fig16_baselines.dir/fig16_baselines.cpp.o.d"
+  "fig16_baselines"
+  "fig16_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

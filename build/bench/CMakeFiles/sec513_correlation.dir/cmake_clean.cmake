@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec513_correlation.dir/sec513_correlation.cpp.o"
+  "CMakeFiles/sec513_correlation.dir/sec513_correlation.cpp.o.d"
+  "sec513_correlation"
+  "sec513_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec513_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec516_guidelines.dir/sec516_guidelines.cpp.o"
+  "CMakeFiles/sec516_guidelines.dir/sec516_guidelines.cpp.o.d"
+  "sec516_guidelines"
+  "sec516_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec516_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

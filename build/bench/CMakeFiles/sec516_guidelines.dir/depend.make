@@ -1,0 +1,2 @@
+# Empty dependencies file for sec516_guidelines.
+# This may be replaced when dependencies are built.

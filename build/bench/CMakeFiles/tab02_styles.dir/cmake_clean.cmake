@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_styles.dir/tab02_styles.cpp.o"
+  "CMakeFiles/tab02_styles.dir/tab02_styles.cpp.o.d"
+  "tab02_styles"
+  "tab02_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_versions.dir/tab03_versions.cpp.o"
+  "CMakeFiles/tab03_versions.dir/tab03_versions.cpp.o.d"
+  "tab03_versions"
+  "tab03_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_graphs.dir/tab04_graphs.cpp.o"
+  "CMakeFiles/tab04_graphs.dir/tab04_graphs.cpp.o.d"
+  "tab04_graphs"
+  "tab04_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

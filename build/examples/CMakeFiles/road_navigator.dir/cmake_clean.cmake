@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_navigator.dir/road_navigator.cpp.o"
+  "CMakeFiles/road_navigator.dir/road_navigator.cpp.o.d"
+  "road_navigator"
+  "road_navigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_navigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/style_explorer.cpp" "examples/CMakeFiles/style_explorer.dir/style_explorer.cpp.o" "gcc" "examples/CMakeFiles/style_explorer.dir/style_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/variants/CMakeFiles/indigo_variants.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/indigo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/indigo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/indigo_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/indigo_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcuda/CMakeFiles/indigo_vcuda.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

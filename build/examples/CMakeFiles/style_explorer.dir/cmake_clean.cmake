@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/style_explorer.dir/style_explorer.cpp.o"
+  "CMakeFiles/style_explorer.dir/style_explorer.cpp.o.d"
+  "style_explorer"
+  "style_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/style_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  ENVIRONMENT "REPRO_SCALE=0" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_style_explorer "/root/repo/build/examples/style_explorer" "tc" "omp" "copaper")
+set_tests_properties(example_style_explorer PROPERTIES  ENVIRONMENT "REPRO_SCALE=0" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_road_navigator "/root/repo/build/examples/road_navigator" "10")
+set_tests_properties(example_road_navigator PROPERTIES  ENVIRONMENT "REPRO_SCALE=0" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_social_analytics "/root/repo/build/examples/social_analytics" "10")
+set_tests_properties(example_social_analytics PROPERTIES  ENVIRONMENT "REPRO_SCALE=0" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

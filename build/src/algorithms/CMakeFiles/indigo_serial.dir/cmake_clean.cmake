@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_serial.dir/serial/serial.cpp.o"
+  "CMakeFiles/indigo_serial.dir/serial/serial.cpp.o.d"
+  "libindigo_serial.a"
+  "libindigo_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

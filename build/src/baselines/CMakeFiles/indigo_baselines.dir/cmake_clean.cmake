@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_baselines.dir/cpu_baselines.cpp.o"
+  "CMakeFiles/indigo_baselines.dir/cpu_baselines.cpp.o.d"
+  "CMakeFiles/indigo_baselines.dir/gpu_baselines.cpp.o"
+  "CMakeFiles/indigo_baselines.dir/gpu_baselines.cpp.o.d"
+  "libindigo_baselines.a"
+  "libindigo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

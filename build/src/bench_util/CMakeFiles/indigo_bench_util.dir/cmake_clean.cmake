@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_bench_util.dir/harness.cpp.o"
+  "CMakeFiles/indigo_bench_util.dir/harness.cpp.o.d"
+  "CMakeFiles/indigo_bench_util.dir/printing.cpp.o"
+  "CMakeFiles/indigo_bench_util.dir/printing.cpp.o.d"
+  "libindigo_bench_util.a"
+  "libindigo_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_core.dir/registry.cpp.o"
+  "CMakeFiles/indigo_core.dir/registry.cpp.o.d"
+  "CMakeFiles/indigo_core.dir/runner.cpp.o"
+  "CMakeFiles/indigo_core.dir/runner.cpp.o.d"
+  "CMakeFiles/indigo_core.dir/styles.cpp.o"
+  "CMakeFiles/indigo_core.dir/styles.cpp.o.d"
+  "libindigo_core.a"
+  "libindigo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

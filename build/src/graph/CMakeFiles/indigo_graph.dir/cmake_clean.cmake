@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_graph.dir/csr.cpp.o"
+  "CMakeFiles/indigo_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/indigo_graph.dir/generate.cpp.o"
+  "CMakeFiles/indigo_graph.dir/generate.cpp.o.d"
+  "CMakeFiles/indigo_graph.dir/io.cpp.o"
+  "CMakeFiles/indigo_graph.dir/io.cpp.o.d"
+  "CMakeFiles/indigo_graph.dir/properties.cpp.o"
+  "CMakeFiles/indigo_graph.dir/properties.cpp.o.d"
+  "libindigo_graph.a"
+  "libindigo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_stats.dir/summary.cpp.o"
+  "CMakeFiles/indigo_stats.dir/summary.cpp.o.d"
+  "libindigo_stats.a"
+  "libindigo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_threading.dir/thread_team.cpp.o"
+  "CMakeFiles/indigo_threading.dir/thread_team.cpp.o.d"
+  "libindigo_threading.a"
+  "libindigo_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

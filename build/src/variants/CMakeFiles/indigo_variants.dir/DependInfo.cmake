@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variants/cppthreads/mis.cpp" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/mis.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/mis.cpp.o.d"
+  "/root/repo/src/variants/cppthreads/pr.cpp" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/pr.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/pr.cpp.o.d"
+  "/root/repo/src/variants/cppthreads/relax_bfs.cpp" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/relax_bfs.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/relax_bfs.cpp.o.d"
+  "/root/repo/src/variants/cppthreads/relax_cc.cpp" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/relax_cc.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/relax_cc.cpp.o.d"
+  "/root/repo/src/variants/cppthreads/relax_sssp.cpp" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/relax_sssp.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/relax_sssp.cpp.o.d"
+  "/root/repo/src/variants/cppthreads/tc.cpp" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/tc.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/cppthreads/tc.cpp.o.d"
+  "/root/repo/src/variants/omp/mis.cpp" "src/variants/CMakeFiles/indigo_variants.dir/omp/mis.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/omp/mis.cpp.o.d"
+  "/root/repo/src/variants/omp/pr.cpp" "src/variants/CMakeFiles/indigo_variants.dir/omp/pr.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/omp/pr.cpp.o.d"
+  "/root/repo/src/variants/omp/relax_bfs.cpp" "src/variants/CMakeFiles/indigo_variants.dir/omp/relax_bfs.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/omp/relax_bfs.cpp.o.d"
+  "/root/repo/src/variants/omp/relax_cc.cpp" "src/variants/CMakeFiles/indigo_variants.dir/omp/relax_cc.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/omp/relax_cc.cpp.o.d"
+  "/root/repo/src/variants/omp/relax_sssp.cpp" "src/variants/CMakeFiles/indigo_variants.dir/omp/relax_sssp.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/omp/relax_sssp.cpp.o.d"
+  "/root/repo/src/variants/omp/tc.cpp" "src/variants/CMakeFiles/indigo_variants.dir/omp/tc.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/omp/tc.cpp.o.d"
+  "/root/repo/src/variants/register_all.cpp" "src/variants/CMakeFiles/indigo_variants.dir/register_all.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/register_all.cpp.o.d"
+  "/root/repo/src/variants/vcuda/mis.cpp" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/mis.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/mis.cpp.o.d"
+  "/root/repo/src/variants/vcuda/pr.cpp" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/pr.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/pr.cpp.o.d"
+  "/root/repo/src/variants/vcuda/relax_bfs.cpp" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/relax_bfs.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/relax_bfs.cpp.o.d"
+  "/root/repo/src/variants/vcuda/relax_cc.cpp" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/relax_cc.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/relax_cc.cpp.o.d"
+  "/root/repo/src/variants/vcuda/relax_sssp.cpp" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/relax_sssp.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/relax_sssp.cpp.o.d"
+  "/root/repo/src/variants/vcuda/tc.cpp" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/tc.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/tc.cpp.o.d"
+  "/root/repo/src/variants/vcuda/vc_common.cpp" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/vc_common.cpp.o" "gcc" "src/variants/CMakeFiles/indigo_variants.dir/vcuda/vc_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/indigo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/indigo_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcuda/CMakeFiles/indigo_vcuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/indigo_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/indigo_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

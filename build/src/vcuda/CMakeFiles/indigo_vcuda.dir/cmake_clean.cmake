@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indigo_vcuda.dir/device_spec.cpp.o"
+  "CMakeFiles/indigo_vcuda.dir/device_spec.cpp.o.d"
+  "CMakeFiles/indigo_vcuda.dir/sim.cpp.o"
+  "CMakeFiles/indigo_vcuda.dir/sim.cpp.o.d"
+  "libindigo_vcuda.a"
+  "libindigo_vcuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indigo_vcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variants_all.dir/test_variants_all.cpp.o"
+  "CMakeFiles/test_variants_all.dir/test_variants_all.cpp.o.d"
+  "test_variants_all"
+  "test_variants_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variants_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

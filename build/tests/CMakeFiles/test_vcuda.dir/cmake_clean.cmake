@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcuda.dir/test_vcuda.cpp.o"
+  "CMakeFiles/test_vcuda.dir/test_vcuda.cpp.o.d"
+  "test_vcuda"
+  "test_vcuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_vcuda.
+# This may be replaced when dependencies are built.

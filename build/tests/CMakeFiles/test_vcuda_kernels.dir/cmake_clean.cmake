@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcuda_kernels.dir/test_vcuda_kernels.cpp.o"
+  "CMakeFiles/test_vcuda_kernels.dir/test_vcuda_kernels.cpp.o.d"
+  "test_vcuda_kernels"
+  "test_vcuda_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcuda_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_graph "/root/repo/build/tests/test_graph")
+set_tests_properties(test_graph PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;14;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stats "/root/repo/build/tests/test_stats")
+set_tests_properties(test_stats PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;15;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_styles "/root/repo/build/tests/test_styles")
+set_tests_properties(test_styles PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;16;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_serial "/root/repo/build/tests/test_serial")
+set_tests_properties(test_serial PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;17;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_threading "/root/repo/build/tests/test_threading")
+set_tests_properties(test_threading PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;18;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vcuda "/root/repo/build/tests/test_vcuda")
+set_tests_properties(test_vcuda PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;19;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vcuda_kernels "/root/repo/build/tests/test_vcuda_kernels")
+set_tests_properties(test_vcuda_kernels PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;20;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runner "/root/repo/build/tests/test_runner")
+set_tests_properties(test_runner PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;22;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_harness "/root/repo/build/tests/test_harness")
+set_tests_properties(test_harness PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;23;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_harness_cache "/root/repo/build/tests/test_harness_cache")
+set_tests_properties(test_harness_cache PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;24;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_variants_all "/root/repo/build/tests/test_variants_all")
+set_tests_properties(test_variants_all PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;25;indigo_test;/root/repo/tests/CMakeLists.txt;0;")
