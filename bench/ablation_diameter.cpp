@@ -65,5 +65,5 @@ int main() {
       "on the low-diameter rmat input topology-driven stays competitive "
       "(within 10x)",
       rd.seconds / rt.seconds > 0.1);
-  return 0;
+  return bench::exit_code();
 }

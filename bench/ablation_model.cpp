@@ -104,5 +104,5 @@ int main() {
   }
   bench::shape_check(
       "global-add's penalty grows with the serialization cost knob", grows);
-  return 0;
+  return bench::exit_code();
 }

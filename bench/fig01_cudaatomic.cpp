@@ -78,5 +78,5 @@ int main() {
                      med_titan_core > 3.0 * med_rtx_core);
   bench::shape_check("TC's ratio is markedly lower than the other codes'",
                      med_rtx_tc < med_rtx_core / 2.0);
-  return 0;
+  return bench::exit_code();
 }

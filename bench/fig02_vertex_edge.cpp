@@ -77,5 +77,5 @@ int main() {
   for (double m : cpu_medians) above += m > 1.0;
   bench::shape_check("most CPU medians are above 1 (CPUs prefer vertex)",
                      above * 2 > cpu_medians.size());
-  return 0;
+  return bench::exit_code();
 }

@@ -41,5 +41,5 @@ int main() {
   bench::shape_check("OpenMP prefers data-driven (median < 1)", med[1] < 1);
   bench::shape_check("C++ threads prefers topology-driven (median > 1)",
                      med[2] > 1);
-  return 0;
+  return bench::exit_code();
 }

@@ -48,5 +48,5 @@ int main() {
                      cpp_med > 1);
   bench::shape_check("OpenMP MIS prefers topology-driven (median > 1)",
                      omp_mis_med > 1);
-  return 0;
+  return bench::exit_code();
 }

@@ -48,5 +48,5 @@ int main() {
   bench::shape_check("PR does not follow the push preference (mean of "
                      "medians <= ~1.2)",
                      pr_count > 0 && pr_med_sum / pr_count <= 1.2);
-  return 0;
+  return bench::exit_code();
 }

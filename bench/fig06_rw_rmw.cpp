@@ -49,5 +49,5 @@ int main() {
       "the CPU's worst RMW penalty far exceeds the GPU's (OpenMP critical "
       "sections; paper: >1000x vs 3x)",
       cpu_max > 3.0 * gpu_max);
-  return 0;
+  return bench::exit_code();
 }

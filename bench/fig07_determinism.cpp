@@ -40,5 +40,5 @@ int main() {
   bench::shape_check(
       "non-deterministic is faster for CC/MIS/BFS/SSSP (medians < 1)",
       below * 4 >= total * 3);
-  return 0;
+  return bench::exit_code();
 }

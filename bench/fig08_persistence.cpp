@@ -34,5 +34,5 @@ int main() {
     near_one += med > 0.5 && med < 2.0;
   }
   bench::shape_check("all medians within 2x of 1.0", near_one == total);
-  return 0;
+  return bench::exit_code();
 }

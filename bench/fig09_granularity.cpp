@@ -52,5 +52,5 @@ int main() {
                      med[1][1] > med[1][0]);
   bench::shape_check("block-level is the slowest granularity on both",
                      med[0][2] <= med[0][0] && med[1][2] <= med[1][1]);
-  return 0;
+  return bench::exit_code();
 }

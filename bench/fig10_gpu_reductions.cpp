@@ -51,5 +51,5 @@ int main() {
                      med[1][2] >= med[1][0] && med[1][2] >= med[1][1]);
   bench::shape_check("block-add is not faster than reduction-add",
                      med[0][1] <= med[0][2] && med[1][1] <= med[1][2]);
-  return 0;
+  return bench::exit_code();
 }

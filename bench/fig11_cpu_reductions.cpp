@@ -47,5 +47,5 @@ int main() {
                      med[1][2] >= med[1][0]);
   bench::shape_check("TC achieves higher throughput than PR",
                      med[0][2] > med[1][2]);
-  return 0;
+  return bench::exit_code();
 }

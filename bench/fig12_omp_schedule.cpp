@@ -38,5 +38,5 @@ int main() {
                      mis_med > 1.0);
   bench::shape_check("default scheduling is at least on par overall",
                      ge_one * 3 >= total * 2);
-  return 0;
+  return bench::exit_code();
 }

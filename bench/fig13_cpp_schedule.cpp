@@ -38,5 +38,5 @@ int main() {
   bench::shape_check(
       "TC leans cyclic (paper: 75% of its ratios below 1)",
       !tc_ratios.empty() && stats::quantile(tc_ratios, 0.75) < 1.3);
-  return 0;
+  return bench::exit_code();
 }

@@ -95,5 +95,5 @@ int main() {
                          check["cpp/nondet"] > 50);
   bench::shape_check("C++ threads leans topology-driven more than CUDA",
                      check["cpp/topo"] >= check["cuda/topo"]);
-  return 0;
+  return bench::exit_code();
 }

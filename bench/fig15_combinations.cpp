@@ -97,5 +97,5 @@ int main() {
       push_geo > pull_geo);
   bench::shape_check("the push column is net positive (geomean > 1)",
                      push_geo > 1.0);
-  return 0;
+  return bench::exit_code();
 }

@@ -143,5 +143,5 @@ int main() {
       "SSSP is the weakest algorithm vs its (delta-stepping/active-array) "
       "baseline (paper: 0.07-0.40)",
       sssp_geo_worst < 1.0);
-  return 0;
+  return bench::exit_code();
 }

@@ -90,5 +90,5 @@ int main() {
   bench::shape_check(
       "warp-based throughput correlates positively with average degree",
       warp_avg_degree_corr > 0.1);
-  return 0;
+  return bench::exit_code();
 }

@@ -139,5 +139,5 @@ int main() {
   // 8. Data-driven wins on the GPU.
   bench::shape_check("G8: CUDA prefers data-driven",
                      median_ratio(cuda, Dimension::Drive, 0, 2) < 1.0);
-  return 0;
+  return bench::exit_code();
 }

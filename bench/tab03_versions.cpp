@@ -56,5 +56,5 @@ int main() {
                          reg.count(Model::OpenMP, Algorithm::TC) == 12);
   bench::shape_check("total within 25% of the paper's 1106",
                      grand > 830 && grand < 1400);
-  return 0;
+  return bench::exit_code();
 }

@@ -61,5 +61,5 @@ int main() {
                          copaper.avg_degree > social.avg_degree &&
                          copaper.avg_degree > road.avg_degree &&
                          copaper.pct_deg_ge_32 > 5.0);
-  return 0;
+  return bench::exit_code();
 }

@@ -1,16 +1,21 @@
 #include "bench_util/harness.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "threading/thread_team.hpp"
 #include "variants/register_all.hpp"
 
 namespace indigo::bench {
 namespace {
+
+std::atomic<int> g_shape_failures{0};
 
 std::string scale_tag() {
   const char* env = std::getenv("REPRO_SCALE");
@@ -22,31 +27,100 @@ std::string make_key(const std::string& program, const std::string& graph,
   std::ostringstream os;
   os << program << '|' << graph << '|' << device << '|' << threads << '|'
      << scale_tag();
+  // Instrumented runs carry counter payloads and must not shadow (or be
+  // shadowed by) plain timing entries recorded without them.
+  if (obs::enabled()) os << "|obs";
   return os.str();
+}
+
+/// metrics map <-> cache field. Encoded as `name=value;name=value` — no
+/// tabs (the cache field separator) and no '=' or ';' appear in counter
+/// names by construction.
+std::string encode_metrics(const std::map<std::string, double>& metrics) {
+  std::ostringstream os;
+  os.precision(17);
+  bool first = true;
+  for (const auto& [k, v] : metrics) {
+    if (!first) os << ';';
+    first = false;
+    os << k << '=' << v;
+  }
+  return os.str();
+}
+
+bool decode_metrics(const std::string& field,
+                    std::map<std::string, double>& out) {
+  std::istringstream is(field);
+  std::string item;
+  while (std::getline(is, item, ';')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(item.substr(eq + 1), &used);
+      if (used != item.size() - eq - 1) return false;
+      out[item.substr(0, eq)] = v;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 Harness::Harness() {
   variants::register_all_variants();
+  obs::init_from_env();
   graphs_ = make_study_inputs();
   verifiers_.resize(graphs_.size());
   const char* env = std::getenv("REPRO_CACHE");
   cache_path_ = env != nullptr ? env : "repro_cache.csv";
+  load_cache();
+}
+
+void Harness::load_cache() {
   if (cache_path_.empty()) return;
   std::ifstream in(cache_path_);
+  if (!in) return;  // no cache yet: every entry will be measured fresh
   std::string line;
+  std::size_t lineno = 0;
+  std::size_t bad = 0;
   while (std::getline(in, line)) {
-    // key \t seconds \t throughput \t iterations \t verified
+    ++lineno;
+    if (line.empty()) continue;
+    // key \t seconds \t throughput \t iterations \t verified [\t metrics]
     std::istringstream ls(line);
-    std::string key;
+    std::string key, metrics_field;
     CacheEntry e{};
     int verified = 0;
-    if (std::getline(ls, key, '\t') &&
-        (ls >> e.seconds >> e.throughput >> e.iterations >> verified)) {
-      e.verified = verified != 0;
-      cache_[key] = e;
+    const bool core_ok =
+        static_cast<bool>(std::getline(ls, key, '\t')) && !key.empty() &&
+        static_cast<bool>(ls >> e.seconds >> e.throughput >> e.iterations >>
+                          verified) &&
+        (verified == 0 || verified == 1) && e.seconds >= 0;
+    bool metrics_ok = true;
+    if (core_ok) {
+      // Optional 6th field; tolerate its absence (pre-metrics caches).
+      ls >> std::ws;
+      if (std::getline(ls, metrics_field, '\t')) {
+        metrics_ok = decode_metrics(metrics_field, e.metrics);
+      }
     }
+    if (!core_ok || !metrics_ok) {
+      // A truncated write (crash mid-append) or hand-edited garbage must
+      // not poison the whole cache: drop the line, keep the rest.
+      ++bad;
+      std::cerr << "[warn] " << cache_path_ << ':' << lineno
+                << ": skipping malformed cache line\n";
+      continue;
+    }
+    e.verified = verified != 0;
+    cache_[key] = e;
+  }
+  if (bad > 0) {
+    std::cerr << "[warn] " << cache_path_ << ": ignored " << bad
+              << " malformed line(s); affected entries will be re-measured\n";
   }
 }
 
@@ -61,7 +135,9 @@ void Harness::cache_append(const std::string& key, const CacheEntry& e) {
   std::ofstream out(cache_path_, std::ios::app);
   out.precision(17);  // doubles must round-trip exactly
   out << key << '\t' << e.seconds << '\t' << e.throughput << '\t'
-      << e.iterations << '\t' << (e.verified ? 1 : 0) << '\n';
+      << e.iterations << '\t' << (e.verified ? 1 : 0);
+  if (!e.metrics.empty()) out << '\t' << encode_metrics(e.metrics);
+  out << '\n';
 }
 
 Verifier& Harness::verifier_for(const Graph& g) {
@@ -82,6 +158,30 @@ RunOptions Harness::base_run_options(const vcuda::DeviceSpec* device) const {
   return opts;
 }
 
+namespace {
+
+/// One Measurement as a JSONL run record (docs/OBSERVABILITY.md schema).
+void export_measurement(const Measurement& m, const std::string& dev_name,
+                        bool from_cache) {
+  if (obs::metrics_path().empty()) return;
+  obs::JsonObject rec;
+  rec.field("program", m.program)
+      .field("model", to_string(m.model))
+      .field("algo", to_string(m.algo))
+      .field("graph", m.graph)
+      .field("device", dev_name)
+      .field("seconds", m.seconds)
+      .field("throughput_ges", m.throughput_ges)
+      .field("iterations", static_cast<std::uint64_t>(m.iterations))
+      .field("verified", m.verified)
+      .field("from_cache", from_cache);
+  if (!m.error.empty()) rec.field("error", m.error);
+  rec.field_raw("metrics", obs::json_of_metrics(m.metrics));
+  obs::append_metrics_record(rec.str());
+}
+
+}  // namespace
+
 Measurement Harness::measure_one(const Variant& v, const Graph& g,
                                  const vcuda::DeviceSpec* device, int reps) {
   const std::string dev_name =
@@ -100,7 +200,9 @@ Measurement Harness::measure_one(const Variant& v, const Graph& g,
     m.throughput_ges = e->throughput;
     m.iterations = e->iterations;
     m.verified = e->verified;
+    m.metrics = e->metrics;
     if (!e->verified) m.error = "cached failure";
+    export_measurement(m, dev_name, /*from_cache=*/true);
     return m;
   }
   const RunOptions opts = base_run_options(device);
@@ -116,7 +218,9 @@ Measurement Harness::measure_one(const Variant& v, const Graph& g,
     m.verified = false;
     m.error = ex.what();
   }
-  cache_append(key, {m.seconds, m.throughput_ges, m.iterations, m.verified});
+  cache_append(key, {m.seconds, m.throughput_ges, m.iterations, m.verified,
+                     m.metrics});
+  export_measurement(m, dev_name, /*from_cache=*/false);
   if (!m.verified) {
     std::cerr << "\n[warn] " << m.program << " on " << m.graph
               << " failed verification: " << m.error << '\n';
@@ -125,6 +229,7 @@ Measurement Harness::measure_one(const Variant& v, const Graph& g,
 }
 
 std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
+  obs::Span span("sweep", "harness");
   const auto selected = Registry::instance().select(opts.model, opts.algo);
   std::vector<Measurement> out;
   std::size_t done = 0;
@@ -136,6 +241,7 @@ std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
     }
   }
   if (done >= 50) std::cerr << '\n';
+  span.arg("measurements", static_cast<double>(done));
   return out;
 }
 
@@ -187,10 +293,17 @@ std::vector<Measurement> verified_of_model(std::span<const Measurement> ms,
 }
 
 bool shape_check(const std::string& name, bool condition) {
+  if (!condition) g_shape_failures.fetch_add(1, std::memory_order_relaxed);
   std::cout << (condition ? "[SHAPE PASS] " : "[SHAPE DIFF] ") << name
             << '\n';
   return condition;
 }
+
+int shape_check_failures() {
+  return g_shape_failures.load(std::memory_order_relaxed);
+}
+
+int exit_code() { return shape_check_failures() == 0 ? 0 : 1; }
 
 bool classic_atomics_only(const Variant& v) {
   return v.style.alib == AtomicsLib::Classic;

@@ -61,14 +61,16 @@ class Harness {
   std::string cache_path_;
   // key -> cached measurement fields
   struct CacheEntry {
-    double seconds;
-    double throughput;
-    std::uint64_t iterations;
-    bool verified;
+    double seconds = 0;
+    double throughput = 0;
+    std::uint64_t iterations = 0;
+    bool verified = false;
+    std::map<std::string, double> metrics;  // obs counters, may be empty
   };
   std::map<std::string, CacheEntry> cache_;
   std::vector<std::unique_ptr<Verifier>> verifiers_;
 
+  void load_cache();
   CacheEntry* cache_find(const std::string& key);
   void cache_append(const std::string& key, const CacheEntry& e);
   Verifier& verifier_for(const Graph& g);
@@ -91,8 +93,16 @@ std::vector<Measurement> verified_of_model(std::span<const Measurement> ms,
                                            Model m);
 
 /// Simple shape-check reporting: prints PASS/FAIL (to stdout) of a named
-/// expectation and returns whether it held.
+/// expectation and returns whether it held. Failures also bump a
+/// process-wide counter so bench binaries can exit nonzero.
 bool shape_check(const std::string& name, bool condition);
+
+/// Number of shape_check calls that failed in this process.
+int shape_check_failures();
+
+/// Exit status for a bench main(): 0 when every shape check held, 1
+/// otherwise (so CI and scripts notice broken reproductions).
+int exit_code();
 
 /// Excludes the CudaAtomic codes, as the paper does after Section 5.1.
 bool classic_atomics_only(const Variant& v);

@@ -7,6 +7,8 @@
 
 #include "algorithms/serial/serial.hpp"
 #include "core/registry.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace indigo {
 
@@ -119,6 +121,13 @@ Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
   m.style = v.style;
   m.graph = g.name();
 
+  const bool observe = obs::enabled();
+  std::map<std::string, double> before;
+  if (observe) before = obs::CounterRegistry::instance().snapshot();
+  obs::Span span("measure", "harness");
+  span.arg("program", v.name);
+  span.arg("graph", g.name());
+
   std::vector<double> times;
   RunResult last;
   for (int r = 0; r < std::max(1, reps); ++r) {
@@ -136,6 +145,20 @@ Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
   std::sort(times.begin(), times.end());
   m.seconds = times[times.size() / 2];
   m.iterations = last.iterations;
+  if (observe) {
+    m.metrics = obs::CounterRegistry::delta(
+        before, obs::CounterRegistry::instance().snapshot());
+    // Counters accumulated over every rep; report the per-run average.
+    // Distribution extremes (.min/.max) are run-final values, not sums.
+    const double denom = std::max(1, reps);
+    for (auto& [key, value] : m.metrics) {
+      if (key.ends_with(".min") || key.ends_with(".max")) continue;
+      value /= denom;
+    }
+    span.arg("seconds", m.seconds);
+    span.arg("iterations", static_cast<double>(m.iterations));
+  }
+  span.end();
   if (!last.converged) {
     m.error = "did not converge within max_iterations";
     return m;

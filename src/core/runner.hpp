@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,10 @@ struct Measurement {
   std::uint64_t iterations = 0;
   bool verified = false;
   std::string error;
+  /// Per-run observability counters (counter-name -> per-rep delta), filled
+  /// only while the obs layer is enabled (INDIGO_TRACE / INDIGO_METRICS).
+  /// Cycle-valued counters are averages over reps, hence double.
+  std::map<std::string, double> metrics;
 };
 
 /// Runs `v` on `g` `reps` times, medians the time, verifies the last

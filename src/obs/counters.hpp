@@ -1,0 +1,169 @@
+// Observability layer, part 1: named counters and distributions.
+//
+// The simulator and the threading substrate already *compute* the quantities
+// the paper's mechanistic explanations rest on (transactions, divergence,
+// atomic conflicts, worker imbalance); this registry makes them first-class
+// so benches and tests can observe them. Two requirements drive the design:
+//
+//   1. Zero cost when disabled. Every mutating entry point checks one
+//      relaxed atomic bool and returns; no allocation, no locking, nothing
+//      on the disabled path. The whole layer defaults to off and is switched
+//      on by INDIGO_TRACE / INDIGO_METRICS (see trace.hpp) or set_enabled().
+//   2. Safe under concurrency. Counters are sharded across cache lines and
+//      incremented with relaxed fetch_add; distributions use per-shard
+//      atomics. Reads (value(), snapshot()) sum the shards and may race
+//      benignly with writers, which is fine for monitoring data.
+//
+// Hot call sites should cache the Counter&/Distribution& (handles are
+// stable for the process lifetime) instead of re-resolving by name.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace indigo::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/// Small dense id of the calling thread, used to pick counter shards and
+/// to tag trace events. Stable for the thread's lifetime.
+std::uint32_t thread_slot();
+}  // namespace detail
+
+/// Master switch for the whole observability layer.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// A named monotonic counter, sharded so concurrent increments from
+/// different threads do not contend on one cache line.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) {
+    if (!enabled() || n == 0) return;
+    shards_[detail::thread_slot() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::string name_;
+  std::array<Shard, kShards> shards_{};
+};
+
+/// A named distribution gauge: count / sum / min / max of recorded samples
+/// (enough for load-imbalance and occupancy summaries without histograms).
+class Distribution {
+ public:
+  explicit Distribution(std::string name) : name_(std::move(name)) {}
+  Distribution(const Distribution&) = delete;
+  Distribution& operator=(const Distribution&) = delete;
+
+  void record(double x) {
+    if (!enabled()) return;
+    Shard& s = shards_[detail::thread_slot() % kShards];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(x, std::memory_order_relaxed);
+    atomic_min(s.min, x);
+    atomic_max(s.max, x);
+  }
+
+  struct Stats {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+  void reset();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  static void atomic_min(std::atomic<double>& a, double x) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (x < cur &&
+           !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<double>& a, double x) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (x > cur &&
+           !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+  }
+  std::string name_;
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Process-wide name -> handle table. Lookup takes a mutex; handles returned
+/// are stable, so hot paths resolve once and keep the reference.
+class CounterRegistry {
+ public:
+  static CounterRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Distribution& distribution(std::string_view name);
+
+  /// Flat name -> value view of everything registered. Distributions expand
+  /// to four entries: name.count/.sum/.min/.max. Zero-count entries are
+  /// omitted so snapshots stay proportional to what actually ran.
+  [[nodiscard]] std::map<std::string, double> snapshot() const;
+
+  /// after - before for counter values and distribution counts/sums
+  /// (min/max pass through from `after`). Entries with a zero delta are
+  /// dropped; this is what a per-measurement metrics map is built from.
+  static std::map<std::string, double> delta(
+      const std::map<std::string, double>& before,
+      const std::map<std::string, double>& after);
+
+  /// Zeroes every registered counter and distribution (tests).
+  void reset_all();
+
+ private:
+  CounterRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Distribution>, std::less<>> dists_;
+};
+
+}  // namespace indigo::obs

@@ -8,17 +8,34 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+
+#include "obs/counters.hpp"
 
 namespace indigo {
+
+namespace atomics_detail {
+/// Contention gauge: failed compare_exchange attempts across all CAS-loop
+/// helpers below. Checked-flag no-op when observability is off.
+inline void note_cas_retries(std::uint32_t retries) {
+  if (retries == 0 || !obs::enabled()) return;
+  static obs::Counter& c =
+      obs::CounterRegistry::instance().counter("atomics.cas_retries");
+  c.add(retries);
+}
+}  // namespace atomics_detail
 
 /// atomicMin: stores min(*target, v); returns the previous value.
 template <typename T>
 T atomic_fetch_min(T& target, T v) {
   std::atomic_ref<T> ref(target);
   T old = ref.load(std::memory_order_relaxed);
+  std::uint32_t retries = 0;
   while (v < old &&
          !ref.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+    ++retries;
   }
+  atomics_detail::note_cas_retries(retries);
   return old;
 }
 
@@ -27,9 +44,12 @@ template <typename T>
 T atomic_fetch_max(T& target, T v) {
   std::atomic_ref<T> ref(target);
   T old = ref.load(std::memory_order_relaxed);
+  std::uint32_t retries = 0;
   while (v > old &&
          !ref.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+    ++retries;
   }
+  atomics_detail::note_cas_retries(retries);
   return old;
 }
 
@@ -53,18 +73,24 @@ T atomic_fetch_add_relaxed(T& target, T v) {
 inline void atomic_add_float(float& target, float v) {
   std::atomic_ref<float> ref(target);
   float old = ref.load(std::memory_order_relaxed);
+  std::uint32_t retries = 0;
   while (!ref.compare_exchange_weak(old, old + v,
                                     std::memory_order_relaxed)) {
+    ++retries;
   }
+  atomics_detail::note_cas_retries(retries);
 }
 
 /// Double-precision atomic add; used by the atomic-reduction style.
 inline void atomic_add_double(double& target, double v) {
   std::atomic_ref<double> ref(target);
   double old = ref.load(std::memory_order_relaxed);
+  std::uint32_t retries = 0;
   while (!ref.compare_exchange_weak(old, old + v,
                                     std::memory_order_relaxed)) {
+    ++retries;
   }
+  atomics_detail::note_cas_retries(retries);
 }
 
 /// 64-bit atomic add returning nothing; used by the TC count reduction.

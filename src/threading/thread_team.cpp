@@ -1,9 +1,37 @@
 #include "threading/thread_team.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "obs/counters.hpp"
+
 namespace indigo {
+
+namespace obs_detail {
+
+void note_region(const std::vector<double>& busy_seconds) {
+  double sum = 0, max = 0;
+  for (const double b : busy_seconds) {
+    sum += b;
+    max = std::max(max, b);
+  }
+  auto& reg = obs::CounterRegistry::instance();
+  static obs::Counter& c_regions = reg.counter("cpu.regions");
+  static obs::Counter& c_busy = reg.counter("cpu.busy_us");
+  static obs::Counter& c_critical = reg.counter("cpu.critical_us");
+  static obs::Distribution& d_imb = reg.distribution("cpu.imbalance");
+  c_regions.add(1);
+  c_busy.add(static_cast<std::uint64_t>(sum * 1e6));
+  // The critical path: the slowest worker gates the join. busy/(critical*n)
+  // is the region's parallel efficiency; max*n/sum its imbalance factor.
+  c_critical.add(static_cast<std::uint64_t>(max * 1e6));
+  if (sum > 0) {
+    d_imb.record(max * static_cast<double>(busy_seconds.size()) / sum);
+  }
+}
+
+}  // namespace obs_detail
 
 int cpu_threads() {
   if (const char* env = std::getenv("REPRO_THREADS")) {
@@ -15,8 +43,10 @@ int cpu_threads() {
 }
 
 ThreadTeam::ThreadTeam(int num_threads) {
-  workers_.reserve(static_cast<std::size_t>(std::max(1, num_threads)));
-  for (int t = 0; t < std::max(1, num_threads); ++t) {
+  const int n = std::max(1, num_threads);
+  busy_s_.assign(static_cast<std::size_t>(n), 0.0);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
     workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
@@ -40,6 +70,8 @@ void ThreadTeam::run(const std::function<void(int, int)>& fn) {
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
+  // All workers are parked again, so busy_s_ is quiescent here.
+  if (obs::enabled()) obs_detail::note_region(busy_s_);
 }
 
 void ThreadTeam::worker_loop(int tid) {
@@ -56,10 +88,18 @@ void ThreadTeam::worker_loop(int tid) {
       job = job_;
     }
     std::exception_ptr err;
+    const bool timed = obs::enabled();
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     try {
       (*job)(tid, size());
     } catch (...) {
       err = std::current_exception();
+    }
+    if (timed) {
+      busy_s_[static_cast<std::size_t>(tid)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
     }
     {
       std::lock_guard lock(mu_);

@@ -13,6 +13,12 @@
 #include <vector>
 
 namespace indigo {
+namespace obs_detail {
+/// Accounting sink for one completed parallel region (thread_team.cpp):
+/// feeds the cpu.* counters and the cpu.imbalance gauge. No-op when the
+/// observability layer is disabled.
+void note_region(const std::vector<double>& busy_seconds);
+}  // namespace obs_detail
 
 /// Returns the worker count used by all CPU variants: the REPRO_THREADS
 /// environment variable if set, otherwise min(hardware_concurrency, 8),
@@ -34,10 +40,17 @@ class ThreadTeam {
 
   void run(const std::function<void(int tid, int nthreads)>& fn);
 
+  /// Per-worker busy seconds of the most recent run() (filled only while
+  /// the observability layer is enabled; the load-imbalance gauge).
+  [[nodiscard]] const std::vector<double>& last_busy_seconds() const {
+    return busy_s_;
+  }
+
  private:
   void worker_loop(int tid);
 
   std::vector<std::thread> workers_;
+  std::vector<double> busy_s_;
   std::mutex mu_;
   std::condition_variable cv_start_, cv_done_;
   const std::function<void(int, int)>* job_ = nullptr;

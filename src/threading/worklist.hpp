@@ -13,8 +13,24 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/counters.hpp"
 
 namespace indigo {
+
+namespace worklist_detail {
+inline void note_push() {
+  if (!obs::enabled()) return;
+  static obs::Counter& c =
+      obs::CounterRegistry::instance().counter("worklist.pushes");
+  c.add(1);
+}
+inline void note_drain(std::size_t n) {
+  if (n == 0 || !obs::enabled()) return;
+  static obs::Counter& c =
+      obs::CounterRegistry::instance().counter("worklist.pops");
+  c.add(n);
+}
+}  // namespace worklist_detail
 
 class Worklist {
  public:
@@ -30,6 +46,7 @@ class Worklist {
       throw std::length_error("Worklist capacity exceeded");
     }
     items_[idx] = v;
+    worklist_detail::note_push();
   }
 
   /// Single-threaded push used by hosts to seed the first iteration.
@@ -44,7 +61,12 @@ class Worklist {
     return {items_.data(), size()};
   }
 
-  void clear() { size_.store(0, std::memory_order_relaxed); }
+  /// Resets for the next iteration; the discarded entries were this
+  /// iteration's consumed items ("pops" in the counter vocabulary).
+  void clear() {
+    worklist_detail::note_drain(size());
+    size_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::vector<vid_t> items_;

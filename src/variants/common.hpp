@@ -16,8 +16,40 @@
 #include "core/styles.hpp"
 #include "core/validity.hpp"
 #include "graph/csr.hpp"
+#include "obs/counters.hpp"
 
 namespace indigo::variants {
+
+// --- worklist observability -------------------------------------------------
+// The CPU relax families manage their frontier arrays inline (the atomic
+// cursor IS the style under study), so the counters hook in here rather
+// than in a container. All three are checked-flag no-ops when the
+// observability layer is off.
+
+/// One vertex/arc appended to the next frontier.
+inline void note_worklist_push(std::uint64_t n = 1) {
+  if (!obs::enabled()) return;
+  static obs::Counter& c =
+      obs::CounterRegistry::instance().counter("worklist.pushes");
+  c.add(n);
+}
+
+/// One frontier entry consumed by the current iteration.
+inline void note_worklist_pop(std::uint64_t n) {
+  if (n == 0 || !obs::enabled()) return;
+  static obs::Counter& c =
+      obs::CounterRegistry::instance().counter("worklist.pops");
+  c.add(n);
+}
+
+/// An improvement whose push was suppressed by the iteration-stamped `stat`
+/// array (the paper's Listing 3b duplicate filter).
+inline void note_worklist_duplicate() {
+  if (!obs::enabled()) return;
+  static obs::Counter& c = obs::CounterRegistry::instance().counter(
+      "worklist.duplicates_suppressed");
+  c.add(1);
+}
 
 // --- relaxation problem adapters (CC / BFS / SSSP) -------------------------
 

@@ -130,7 +130,10 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
       atomic_store_relaxed(changed, 1u);
     } else {
       if constexpr (kNoDup) {
-        if (atomic_fetch_max(stat[u], itr) == itr) return;  // Listing 3b
+        if (atomic_fetch_max(stat[u], itr) == itr) {  // Listing 3b
+          note_worklist_duplicate();
+          return;
+        }
       }
       if constexpr (kEdge) {
         const std::uint64_t deg = row[u + 1] - row[u];
@@ -142,6 +145,7 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
         for (std::uint64_t k = 0; k < deg; ++k) {
           wl_out[base + k] = static_cast<std::uint32_t>(row[u] + k);
         }
+        note_worklist_push(deg);
       } else {
         const std::uint64_t idx =
             atomic_fetch_add_relaxed(out_size, std::uint64_t{1});
@@ -150,6 +154,7 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
           return;
         }
         wl_out[idx] = u;  // Listing 3a
+        note_worklist_push();
       }
     }
   };
@@ -200,6 +205,7 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
     }
     if constexpr (kData) {
       if (in_size == 0) break;
+      note_worklist_pop(in_size);
       out_size = 0;
       cpp_for<C.csched>(team, in_size,
                         [&](std::uint64_t i) { process(wl_in[i]); });

@@ -122,7 +122,10 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
       atomic_write(changed, 1u);
     } else {
       if constexpr (kNoDup) {
-        if (critical_max(stat[u], itr) == itr) return;  // Listing 3b
+        if (critical_max(stat[u], itr) == itr) {  // Listing 3b
+          note_worklist_duplicate();
+          return;
+        }
       }
       if constexpr (kEdge) {
         const std::uint64_t deg = row[u + 1] - row[u];
@@ -134,6 +137,7 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
         for (std::uint64_t k = 0; k < deg; ++k) {
           wl_out[base + k] = static_cast<std::uint32_t>(row[u] + k);
         }
+        note_worklist_push(deg);
       } else {
         const std::uint64_t idx = atomic_capture_add(out_size, 1);
         if (idx >= wl_cap) {
@@ -141,6 +145,7 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
           return;
         }
         wl_out[idx] = u;  // Listing 3a
+        note_worklist_push();
       }
     }
   };
@@ -194,6 +199,7 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
     }
     if constexpr (kData) {
       if (in_size == 0) break;
+      note_worklist_pop(in_size);
       out_size = 0;
       omp_for<C.osched>(in_size,
                         [&](std::uint64_t i) { process(wl_in[i]); });

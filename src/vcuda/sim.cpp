@@ -4,6 +4,9 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace indigo::vcuda {
 
 namespace detail {
@@ -28,10 +31,13 @@ void WarpRecorder::flush(Device& dev) {
   // imbalance the paper's Section 5.8 attributes thread-granularity's
   // losses to).
   double max_lane = 0;
+  double sum_lanes = 0;
   for (int l = 0; l < active_lanes_; ++l) {
     max_lane = std::max(max_lane, lane_cycles_[l]);
+    sum_lanes += lane_cycles_[l];
   }
   dev.add_compute_cycles(max_lane + spec.warp_fixed_cycles);
+  dev.add_simt_cycles(sum_lanes, max_lane * active_lanes_);
   dev.add_fence_cycles(fence_cycles_);
 
   // Coalescing: accesses made by the warp's lanes at the same program point
@@ -55,6 +61,7 @@ void WarpRecorder::flush(Device& dev) {
     }
     if (n_lines > 0) {
       std::sort(lines, lines + n_lines);
+      dev.add_mem_instructions(1);
       dev.add_transactions(static_cast<std::uint64_t>(
           std::unique(lines, lines + n_lines) - lines));
     }
@@ -79,7 +86,7 @@ void WarpRecorder::flush(Device& dev) {
           spec.same_address_atomic_cycles *
           (any_cudaatomic ? spec.cudaatomic_rmw_mult : 1.0);
       for (int i = 0; i < distinct; ++i) {
-        dev.note_atomic_chain(mix_addr(atomic_addrs[i]), unit);
+        dev.note_atomic_chain(mix_addr(atomic_addrs[i]), unit, owner_);
       }
       // Atomics also move data: one transaction per distinct address line.
       dev.add_transactions(static_cast<std::uint64_t>(distinct));
@@ -136,10 +143,35 @@ void Block::end_block() {
   dev_.add_compute_cycles(block_serial_cycles_);
 }
 
-Device::Device(const DeviceSpec& spec) : spec_(spec), hotspot_(4096, 0.0) {}
+Device::Device(const DeviceSpec& spec)
+    : spec_(spec), hotspot_(4096, 0.0), hotspot_owner_(4096, 0) {}
 
-void Device::note_atomic_chain(std::uint64_t hashed_addr, double cycles) {
-  hotspot_[hashed_addr & (hotspot_.size() - 1)] += cycles;
+void Device::note_atomic_chain(std::uint64_t hashed_addr, double cycles,
+                               std::uint32_t owner) {
+  const std::size_t slot = hashed_addr & (hotspot_.size() - 1);
+  hotspot_[slot] += cycles;
+  ++stats_.atomic_ops;
+  // A conflict is contention: a different warp hit this address earlier in
+  // the launch. One warp re-touching its own address (e.g. a pull-style
+  // thread relaxing its own vertex once per in-edge) serializes only with
+  // itself and is not counted.
+  const std::uint32_t tagged = owner + 1;  // 0 = never hit
+  if (hotspot_owner_[slot] != 0 && hotspot_owner_[slot] != tagged) {
+    ++stats_.atomic_conflicts;
+  }
+  hotspot_owner_[slot] = tagged;
+}
+
+void Device::begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim) {
+  stats_.reset();
+  hotspot_.assign(hotspot_.size(), 0);
+  hotspot_owner_.assign(hotspot_owner_.size(), 0);
+  stats_.grid_dim = grid_dim;
+  stats_.block_dim = block_dim;
+  const auto resident = static_cast<double>(grid_dim) * block_dim;
+  stats_.occupancy =
+      std::min(1.0, resident / static_cast<double>(spec_.concurrent_threads()));
+  if (obs::trace_enabled()) launch_start_us_ = obs::now_us();
 }
 
 void Device::finalize_launch() {
@@ -158,10 +190,71 @@ void Device::finalize_launch() {
   // add on top of whatever the roofline hides (Section 5.1's penalty).
   const double fence_s =
       stats_.fence_cycles / static_cast<double>(spec_.num_sms) / hz;
-  elapsed_s_ += std::max({compute_s, mem_s, atomic_s}) + fence_s +
-                spec_.kernel_launch_us * 1e-6;
+  const double kernel_s = std::max({compute_s, mem_s, atomic_s}) + fence_s +
+                          spec_.kernel_launch_us * 1e-6;
+  elapsed_s_ += kernel_s;
   ++launches_;
   last_stats_ = stats_;
+
+  if (obs::enabled()) {
+    auto& reg = obs::CounterRegistry::instance();
+    static obs::Counter& c_launches = reg.counter("vcuda.launches");
+    static obs::Counter& c_txn = reg.counter("vcuda.transactions");
+    static obs::Counter& c_replay =
+        reg.counter("vcuda.transactions_replayed");
+    static obs::Counter& c_instr = reg.counter("vcuda.mem_instructions");
+    static obs::Counter& c_aops = reg.counter("vcuda.atomic_ops");
+    static obs::Counter& c_aconf = reg.counter("vcuda.atomic_conflicts");
+    static obs::Counter& c_fence = reg.counter("vcuda.fence_cycles");
+    static obs::Counter& c_barrier = reg.counter("vcuda.barriers");
+    static obs::Counter& c_useful = reg.counter("vcuda.lane_cycles");
+    static obs::Counter& c_lockstep = reg.counter("vcuda.lockstep_cycles");
+    static obs::Counter& c_sim_ns = reg.counter("vcuda.sim_ns");
+    static obs::Distribution& d_occ = reg.distribution("vcuda.occupancy");
+    static obs::Distribution& d_div = reg.distribution("vcuda.divergence");
+    c_launches.add(1);
+    c_txn.add(stats_.transactions);
+    c_replay.add(stats_.replayed_transactions());
+    c_instr.add(stats_.mem_instructions);
+    c_aops.add(stats_.atomic_ops);
+    c_aconf.add(stats_.atomic_conflicts);
+    c_fence.add(static_cast<std::uint64_t>(std::llround(stats_.fence_cycles)));
+    c_barrier.add(stats_.barriers);
+    c_useful.add(static_cast<std::uint64_t>(std::llround(stats_.lane_cycles)));
+    c_lockstep.add(
+        static_cast<std::uint64_t>(std::llround(stats_.lockstep_cycles)));
+    c_sim_ns.add(static_cast<std::uint64_t>(std::llround(kernel_s * 1e9)));
+    d_occ.record(stats_.occupancy);
+    d_div.record(stats_.divergence_factor());
+  }
+  if (obs::trace_enabled()) {
+    // Re-create the launch window as a span: structured counters attached
+    // to one trace event per kernel launch.
+    obs::Span span("vcuda.launch", "vcuda");
+    if (span.active()) {
+      // Rewind the span's start to when the launch actually began.
+      span.arg("launch_index", static_cast<double>(launches_ - 1));
+      span.arg("grid_dim", stats_.grid_dim);
+      span.arg("block_dim", stats_.block_dim);
+      span.arg("occupancy", stats_.occupancy);
+      span.arg("sim_us", kernel_s * 1e6);
+      span.arg("compute_cycles", stats_.compute_cycles);
+      span.arg("transactions", static_cast<double>(stats_.transactions));
+      span.arg("transactions_replayed",
+               static_cast<double>(stats_.replayed_transactions()));
+      span.arg("mem_instructions",
+               static_cast<double>(stats_.mem_instructions));
+      span.arg("divergence_factor", stats_.divergence_factor());
+      span.arg("atomic_ops", static_cast<double>(stats_.atomic_ops));
+      span.arg("atomic_conflicts",
+               static_cast<double>(stats_.atomic_conflicts));
+      span.arg("hotspot_cycles_max", stats_.hotspot_cycles_max);
+      span.arg("fence_cycles", stats_.fence_cycles);
+      span.arg("barriers", static_cast<double>(stats_.barriers));
+      span.set_start_us(launch_start_us_);
+      span.end();
+    }
+  }
 }
 
 }  // namespace indigo::vcuda

@@ -56,6 +56,30 @@ struct LaunchStats {
                                   // NOT overlappable with memory/compute)
   std::uint64_t barriers = 0;
 
+  // --- observability detail (same model internals, finer grain) -----------
+  std::uint64_t mem_instructions = 0;  // warp-wide ld/st SIMT instructions
+  std::uint64_t atomic_ops = 0;        // warp-aggregated atomic units
+  std::uint64_t atomic_conflicts = 0;  // units landing on an already-hit
+                                       // address this launch (serialized)
+  double lane_cycles = 0;       // sum of per-lane work (useful cycles)
+  double lockstep_cycles = 0;   // sum of max-lane x active-lanes (what the
+                                // SIMT lockstep actually occupies)
+  std::uint32_t grid_dim = 0;
+  std::uint32_t block_dim = 0;
+  double occupancy = 0;  // resident threads / device concurrent threads
+
+  /// Extra 128B transactions beyond one per ld/st instruction and one per
+  /// warp-aggregated atomic unit — the coalescing replay traffic.
+  [[nodiscard]] std::uint64_t replayed_transactions() const {
+    const std::uint64_t ideal = mem_instructions + atomic_ops;
+    return transactions > ideal ? transactions - ideal : 0;
+  }
+  /// SIMT-divergence serialization factor: >= 1, == 1 when every lane of
+  /// every warp does the same amount of work.
+  [[nodiscard]] double divergence_factor() const {
+    return lane_cycles > 0 ? lockstep_cycles / lane_cycles : 1.0;
+  }
+
   void reset() { *this = LaunchStats{}; }
 };
 
@@ -89,8 +113,9 @@ struct Access {
 /// per-lane program-point index; aligned groups model one SIMT instruction.
 class WarpRecorder {
  public:
-  void begin(const DeviceSpec& spec) {
+  void begin(const DeviceSpec& spec, std::uint32_t owner) {
     spec_ = &spec;
+    owner_ = owner;
     for (auto& g : groups_) g.clear();
     used_groups_ = 0;
     lane_cycles_.fill(0.0);
@@ -146,6 +171,7 @@ class WarpRecorder {
   double fence_cycles_ = 0;
   int lane_ = 0;
   int active_lanes_ = 0;
+  std::uint32_t owner_ = 0;  // launch-unique warp id, for conflict counting
 };
 
 }  // namespace detail
@@ -290,7 +316,7 @@ class Block {
     const std::uint32_t step = detail::coprime_step(warps);
     std::uint32_t w = 0;
     for (std::uint32_t k = 0; k < warps; ++k) {
-      rec_.begin(spec());
+      rec_.begin(spec(), bidx_ * warps + w);
       const std::uint32_t lo = w * ws;
       const std::uint32_t count = std::min(bdim_, (w + 1) * ws) - lo;
       // Lanes also run in scrambled order: hardware lockstep means a
@@ -384,8 +410,7 @@ class Device {
   template <typename BlockFn>
   void launch(std::uint32_t grid_dim, std::uint32_t block_dim, BlockFn&& fn) {
     assert(block_dim > 0 && block_dim <= 1024);
-    stats_.reset();
-    hotspot_.assign(hotspot_.size(), 0);
+    begin_launch(grid_dim, block_dim);
     Block blk(*this, block_dim, grid_dim);
     const std::uint32_t step = detail::coprime_step(grid_dim);
     std::uint32_t b = 0;
@@ -419,15 +444,26 @@ class Device {
   void add_fence_cycles(double c) { stats_.fence_cycles += c; }
   void add_transactions(std::uint64_t n) { stats_.transactions += n; }
   void add_barriers(std::uint64_t n) { stats_.barriers += n; }
-  void note_atomic_chain(std::uint64_t addr, double cycles);
+  void add_mem_instructions(std::uint64_t n) { stats_.mem_instructions += n; }
+  /// SIMT lockstep accounting for one warp region: the lanes' summed work
+  /// vs the slot cycles the whole warp sits through (max lane x lanes).
+  void add_simt_cycles(double useful, double lockstep) {
+    stats_.lane_cycles += useful;
+    stats_.lockstep_cycles += lockstep;
+  }
+  void note_atomic_chain(std::uint64_t addr, double cycles,
+                         std::uint32_t owner);
 
  private:
+  void begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim);
   void finalize_launch();
 
   DeviceSpec spec_;
   LaunchStats stats_;
   LaunchStats last_stats_;
   std::vector<double> hotspot_;  // same-address atomic chains, hashed
+  std::vector<std::uint32_t> hotspot_owner_;  // last warp to hit each slot
+  double launch_start_us_ = 0;  // wall clock, for the launch trace span
   double elapsed_s_ = 0;
   std::uint64_t launches_ = 0;
 };

@@ -4,8 +4,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "bench_util/harness.hpp"
+#include "obs/counters.hpp"
 
 namespace indigo::bench {
 namespace {
@@ -67,6 +69,63 @@ TEST_F(HarnessCacheTest, StyleFilterNarrowsTheSweep) {
   for (const Measurement& m : ms) {
     EXPECT_EQ(m.style.cred, CpuReduction::Clause);
   }
+}
+
+TEST_F(HarnessCacheTest, MalformedCacheLinesAreSkippedWithWarning) {
+  SweepOptions sw;
+  sw.model = Model::OpenMP;
+  sw.algo = Algorithm::TC;
+  sw.style_filter = [](const Variant& v) {
+    return v.style.cred == CpuReduction::Clause;
+  };
+  double first_throughput = 0;
+  {
+    Harness h;
+    first_throughput = h.sweep(sw).front().throughput_ges;
+  }
+  {
+    // Corrupt the cache the ways it breaks in practice: a crash mid-append
+    // (truncated final line), hand edits, and field garbage.
+    std::ofstream out(cache_path_, std::ios::app);
+    out << "short-key\t1.5\n";                       // missing fields
+    out << "\t1 2 3 1\n";                            // empty key
+    out << "bad-nums\tx\ty\tz\tw\n";                 // non-numeric
+    out << "bad-secs\t-1\t0\t0\t1\n";                // negative seconds
+    out << "bad-flag\t1\t1\t1\t7\n";                 // verified not 0/1
+    out << "bad-metrics\t1\t1\t1\t1\tnot;a=map=x\n"; // broken metrics field
+    out << "cut\t0.5";                               // truncated, no newline
+  }
+  // Reload: the valid entries must still be served byte-identically and
+  // the garbage skipped without aborting the run.
+  testing::internal::CaptureStderr();
+  Harness h;
+  const auto ms = h.sweep(sw);
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(ms.empty());
+  EXPECT_DOUBLE_EQ(ms.front().throughput_ges, first_throughput);
+  EXPECT_NE(warnings.find("malformed"), std::string::npos);
+}
+
+TEST_F(HarnessCacheTest, MetricsRoundTripThroughTheCache) {
+  obs::set_enabled(true);
+  const Variant* v =
+      Registry::instance().select(Model::Cuda, Algorithm::TC).front();
+  Measurement fresh, cached;
+  {
+    Harness h;
+    fresh = h.measure_one(*v, h.graphs().front(), nullptr, 1);
+  }
+  {
+    Harness h;
+    cached = h.measure_one(*v, h.graphs().front(), nullptr, 1);
+  }
+  obs::set_enabled(false);
+  ASSERT_TRUE(fresh.verified) << fresh.error;
+  ASSERT_FALSE(fresh.metrics.empty());
+  EXPECT_GE(fresh.metrics.at("vcuda.launches"), 1.0);
+  // The cache stores metrics at full precision, so the round trip is exact.
+  EXPECT_EQ(cached.metrics, fresh.metrics);
+  EXPECT_DOUBLE_EQ(cached.seconds, fresh.seconds);
 }
 
 TEST_F(HarnessCacheTest, BaseRunOptionsCarryDeviceAndThreads) {

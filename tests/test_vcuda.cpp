@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "vcuda/device_spec.hpp"
 #include "vcuda/sim.hpp"
 
@@ -250,6 +251,83 @@ TEST(VcudaModel, KernelLaunchesAccumulateOverheadAndCount) {
 
 TEST(VcudaModel, MoreMemoryTrafficTakesLonger) {
   EXPECT_GT(load_time(32, 64), load_time(32, 8));
+}
+
+// --- observability hooks ----------------------------------------------------
+
+TEST(VcudaObs, UncoalescedTwinReportsMoreTransactionsAndReplays) {
+  obs::set_enabled(true);
+  auto& reg = obs::CounterRegistry::instance();
+  std::vector<std::uint32_t> data(4096, 0);
+  // The same kernel at two lane strides: adjacent words coalesce into one
+  // 128-byte transaction, 128-byte-apart words replay into 32.
+  auto run = [&](std::uint32_t stride) {
+    const auto before = reg.snapshot();
+    Device dev(spec());
+    auto arr = dev.array(std::span<std::uint32_t>(data));
+    dev.launch(1, 32, [&](Block& blk) {
+      blk.for_each_thread(
+          [&](Thread& t) { (void)arr.ld(t, t.thread_idx() * stride); });
+    });
+    return obs::CounterRegistry::delta(before, reg.snapshot());
+  };
+  auto coalesced = run(1);
+  auto scattered = run(32);
+  obs::set_enabled(false);
+  EXPECT_DOUBLE_EQ(coalesced["vcuda.transactions"], 1.0);
+  EXPECT_DOUBLE_EQ(scattered["vcuda.transactions"], 32.0);
+  EXPECT_EQ(coalesced.count("vcuda.transactions_replayed"), 0u);  // zero delta
+  EXPECT_DOUBLE_EQ(scattered["vcuda.transactions_replayed"], 31.0);
+  EXPECT_GT(scattered["vcuda.transactions"], coalesced["vcuda.transactions"]);
+}
+
+TEST(VcudaObs, AtomicConflictsCountCrossWarpContentionNotPrivateReuse) {
+  // Contended: 8 one-warp blocks all hammer address 0. Warp aggregation
+  // folds each warp's 32 adds into one chain unit, so 8 units from 8
+  // distinct warps = 7 conflicts.
+  Device contended(spec());
+  std::vector<std::uint32_t> ctr(1024, 0);
+  auto arr_c = contended.array(std::span<std::uint32_t>(ctr));
+  contended.launch(8, 32, [&](Block& blk) {
+    blk.for_each_thread([&](Thread& t) { arr_c.atomic_add(t, 0, 1u); });
+  });
+  EXPECT_EQ(contended.last_stats().atomic_conflicts, 7u);
+  EXPECT_EQ(contended.last_stats().atomic_ops, 8u);
+
+  // Private reuse: one warp where every lane re-hits its own address 16
+  // times (the pull-style owned-vertex pattern) serializes only with
+  // itself — not a conflict.
+  Device reuse(spec());
+  auto arr_r = reuse.array(std::span<std::uint32_t>(ctr));
+  reuse.launch(1, 32, [&](Block& blk) {
+    blk.for_each_thread([&](Thread& t) {
+      for (int k = 0; k < 16; ++k) arr_r.atomic_add(t, t.gidx(), 1u);
+    });
+  });
+  EXPECT_EQ(reuse.last_stats().atomic_conflicts, 0u);
+  EXPECT_GT(reuse.last_stats().atomic_ops, 0u);
+}
+
+TEST(VcudaObs, LaunchStatsExposeDivergenceAndOccupancy) {
+  Device dev(spec());
+  dev.launch(2, 64, [&](Block& blk) {
+    blk.for_each_thread([&](Thread& t) {
+      // Lane 0 of each warp does 31x the work of its siblings.
+      t.work(t.lane() == 0 ? 310.0 : 10.0);
+    });
+  });
+  const LaunchStats& s = dev.last_stats();
+  EXPECT_GT(s.divergence_factor(), 1.5);  // far from lockstep-perfect
+  EXPECT_EQ(s.grid_dim, 2u);
+  EXPECT_EQ(s.block_dim, 64u);
+  EXPECT_GT(s.occupancy, 0.0);
+  EXPECT_LE(s.occupancy, 1.0);
+
+  Device uniform(spec());
+  uniform.launch(2, 64, [&](Block& blk) {
+    blk.for_each_thread([&](Thread& t) { t.work(10.0); });
+  });
+  EXPECT_DOUBLE_EQ(uniform.last_stats().divergence_factor(), 1.0);
 }
 
 }  // namespace
