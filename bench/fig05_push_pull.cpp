@@ -1,52 +1,54 @@
 // Figure 5 reproduction: throughput ratios of push- over pull-style codes.
 #include <iostream>
 
-#include "bench_util/harness.hpp"
+#include "bench_util/main.hpp"
 #include "bench_util/printing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace indigo;
-  bench::Harness h;
-  const Algorithm algos[] = {Algorithm::CC, Algorithm::MIS, Algorithm::PR,
-                             Algorithm::BFS, Algorithm::SSSP};
-
-  bench::print_header(
-      "Figure 5", "Throughput ratios of push over pull",
+  bench::MainOptions mo;
+  mo.id = "Figure 5";
+  mo.title = "Throughput ratios of push over pull";
+  mo.paper_claim =
       "Medians consistently above 1 for CC, MIS, BFS, SSSP on all models "
       "(push pairs with data-driven worklists and non-deterministic "
-      "updates); PR's medians sit slightly below 1.");
-
-  int core_above = 0, core_total = 0;
-  double pr_med_sum = 0;
-  int pr_count = 0;
-  for (Model m : kAllModels) {
-    bench::SweepOptions sw;
-    sw.model = m;
-    if (m == Model::Cuda) sw.style_filter = bench::classic_atomics_only;
-    const auto ms = h.sweep(sw);
-    std::cout << "\n--- " << to_string(m) << " ---\n";
-    const auto samples = bench::ratio_samples_by_algorithm(
-        ms, algos, Dimension::Direction, static_cast<int>(Direction::Push),
-        static_cast<int>(Direction::Pull));
-    bench::print_distribution(samples, "push / pull");
-    for (const auto& s : samples) {
-      if (s.values.empty()) continue;
-      const double med = stats::median(s.values);
-      if (s.label == "pr") {
-        pr_med_sum += med;
-        ++pr_count;
-      } else {
-        ++core_total;
-        core_above += med > 1.0;
+      "updates); PR's medians sit slightly below 1.";
+  return bench::Main(argc, argv, mo, [](bench::Harness& h,
+                                        const bench::BenchArgs& args) {
+    const Algorithm algos[] = {Algorithm::CC, Algorithm::MIS, Algorithm::PR,
+                               Algorithm::BFS, Algorithm::SSSP};
+    int core_above = 0, core_total = 0;
+    double pr_med_sum = 0;
+    int pr_count = 0;
+    for (Model m : args.models()) {
+      bench::SweepOptions sw = args.sweep();
+      sw.model = m;
+      if (m == Model::Cuda) sw.style_filter = bench::classic_atomics_only;
+      const auto ms = h.sweep(sw);
+      std::cout << "\n--- " << to_string(m) << " ---\n";
+      const auto samples = bench::ratio_samples_by_algorithm(
+          ms, algos, Dimension::Direction, static_cast<int>(Direction::Push),
+          static_cast<int>(Direction::Pull));
+      bench::print_distribution(samples, "push / pull");
+      for (const auto& s : samples) {
+        if (s.values.empty()) continue;
+        const double med = stats::median(s.values);
+        if (s.label == "pr") {
+          pr_med_sum += med;
+          ++pr_count;
+        } else {
+          ++core_total;
+          core_above += med > 1.0;
+        }
       }
     }
-  }
 
-  bench::shape_check(
-      "push beats pull for most of CC/MIS/BFS/SSSP across models",
-      core_above * 3 >= core_total * 2);
-  bench::shape_check("PR does not follow the push preference (mean of "
-                     "medians <= ~1.2)",
-                     pr_count > 0 && pr_med_sum / pr_count <= 1.2);
-  return bench::exit_code();
+    bench::shape_check(
+        "push beats pull for most of CC/MIS/BFS/SSSP across models",
+        core_above * 3 >= core_total * 2);
+    bench::shape_check("PR does not follow the push preference (mean of "
+                       "medians <= ~1.2)",
+                       pr_count > 0 && pr_med_sum / pr_count <= 1.2);
+    return 0;
+  });
 }

@@ -5,95 +5,98 @@
 #include <iostream>
 #include <map>
 
-#include "bench_util/harness.hpp"
+#include "bench_util/main.hpp"
 #include "bench_util/printing.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace indigo;
-  bench::Harness h;
-
-  bench::print_header(
-      "Figure 14", "Percentage of each style in best-performing codes",
+  bench::MainOptions mo;
+  mo.id = "Figure 14";
+  mo.title = "Percentage of each style in best-performing codes";
+  mo.paper_claim =
       "Vertex-based, push, and non-deterministic dominate the winners in "
       "every model; C++ threads leans topology-driven while CUDA and "
-      "OpenMP lean data-driven.");
+      "OpenMP lean data-driven.";
+  return bench::Main(argc, argv, mo, [](bench::Harness& h,
+                                        const bench::BenchArgs& args) {
+    // Columns: the paper's 6 pair-dimensions (12 style values).
+    struct Col {
+      Dimension dim;
+      int value;
+      const char* name;
+    };
+    const Col cols[] = {
+        {Dimension::Flow, 0, "vertex"},      {Dimension::Flow, 1, "edge"},
+        {Dimension::Drive, 0, "topo"},       {Dimension::Drive, -1, "data"},
+        {Dimension::Direction, 0, "push"},   {Dimension::Direction, 1, "pull"},
+        {Dimension::Update, 0, "rw"},        {Dimension::Update, 1, "rmw"},
+        {Dimension::Determinism, 1, "det"},  {Dimension::Determinism, 0,
+                                              "nondet"},
+        {Dimension::Drive, 1, "dup"},        {Dimension::Drive, 2, "nodup"},
+    };
 
-  // Columns: the paper's 6 pair-dimensions (12 style values).
-  struct Col {
-    Dimension dim;
-    int value;
-    const char* name;
-  };
-  const Col cols[] = {
-      {Dimension::Flow, 0, "vertex"},      {Dimension::Flow, 1, "edge"},
-      {Dimension::Drive, 0, "topo"},       {Dimension::Drive, -1, "data"},
-      {Dimension::Direction, 0, "push"},   {Dimension::Direction, 1, "pull"},
-      {Dimension::Update, 0, "rw"},        {Dimension::Update, 1, "rmw"},
-      {Dimension::Determinism, 1, "det"},  {Dimension::Determinism, 0,
-                                            "nondet"},
-      {Dimension::Drive, 1, "dup"},        {Dimension::Drive, 2, "nodup"},
-  };
+    std::vector<std::string> row_labels, col_labels;
+    for (const Col& c : cols) col_labels.push_back(c.name);
+    std::vector<std::vector<double>> cells;
+    std::map<std::string, double> check;  // model x col -> pct
 
-  std::vector<std::string> row_labels, col_labels;
-  for (const Col& c : cols) col_labels.push_back(c.name);
-  std::vector<std::vector<double>> cells;
-  std::map<std::string, double> check;  // model x col -> pct
-
-  for (Model model : kAllModels) {
-    bench::SweepOptions sw;
-    sw.model = model;
-    if (model == Model::Cuda) sw.style_filter = bench::classic_atomics_only;
-    const auto ms = h.sweep(sw);
-    // Winner per (algorithm, graph).
-    std::map<std::pair<Algorithm, std::string>, const Measurement*> best;
-    for (const Measurement& m : ms) {
-      if (!m.verified) continue;
-      auto& slot = best[{m.algo, m.graph}];
-      if (slot == nullptr || m.throughput_ges > slot->throughput_ges) {
-        slot = &m;
-      }
-    }
-    std::vector<double> line;
-    for (const Col& c : cols) {
-      int have = 0, total = 0;
-      for (const auto& [key, m] : best) {
-        if (!dimension_applies(model, key.first, c.dim)) continue;
-        // "data" pools dup and nodup (paper's topo/data pair).
-        if (c.value == -1) {
-          ++total;
-          have += m->style.drive != Drive::Topology;
-        } else if (c.dim == Dimension::Drive && c.value != 0) {
-          // dup/nodup shares: only over data-driven winners.
-          if (m->style.drive == Drive::Topology) continue;
-          ++total;
-          have += get_dimension(m->style, c.dim) == c.value;
-        } else {
-          ++total;
-          have += get_dimension(m->style, c.dim) == c.value;
+    for (Model model : args.models()) {
+      bench::SweepOptions sw = args.sweep();
+      sw.model = model;
+      if (model == Model::Cuda) sw.style_filter = bench::classic_atomics_only;
+      const auto ms = h.sweep(sw);
+      // Winner per (algorithm, graph).
+      std::map<std::pair<Algorithm, std::string>, const Measurement*> best;
+      for (const Measurement& m : ms) {
+        if (!m.verified) continue;
+        auto& slot = best[{m.algo, m.graph}];
+        if (slot == nullptr || m.throughput_ges > slot->throughput_ges) {
+          slot = &m;
         }
       }
-      const double pct =
-          total == 0 ? std::nan("") : 100.0 * have / total;
-      line.push_back(pct);
-      check[std::string(to_string(model)) + "/" + c.name] = pct;
+      std::vector<double> line;
+      for (const Col& c : cols) {
+        int have = 0, total = 0;
+        for (const auto& [key, m] : best) {
+          if (!dimension_applies(model, key.first, c.dim)) continue;
+          // "data" pools dup and nodup (paper's topo/data pair).
+          if (c.value == -1) {
+            ++total;
+            have += m->style.drive != Drive::Topology;
+          } else if (c.dim == Dimension::Drive && c.value != 0) {
+            // dup/nodup shares: only over data-driven winners.
+            if (m->style.drive == Drive::Topology) continue;
+            ++total;
+            have += get_dimension(m->style, c.dim) == c.value;
+          } else {
+            ++total;
+            have += get_dimension(m->style, c.dim) == c.value;
+          }
+        }
+        const double pct =
+            total == 0 ? std::nan("") : 100.0 * have / total;
+        line.push_back(pct);
+        check[std::string(to_string(model)) + "/" + c.name] = pct;
+      }
+      row_labels.push_back(to_string(model));
+      cells.push_back(std::move(line));
     }
-    row_labels.push_back(to_string(model));
-    cells.push_back(std::move(line));
-  }
-  bench::print_matrix(row_labels, col_labels, cells, 0);
-  std::cout << "(cells are % of best-performing codes using the column's "
-               "style; dup/nodup % is over data-driven winners)\n";
+    bench::print_matrix(row_labels, col_labels, cells, 0);
+    std::cout << "(cells are % of best-performing codes using the column's "
+                 "style; dup/nodup % is over data-driven winners)\n";
 
-  bench::shape_check("vertex-based dominates the winners in every model",
-                     check["cuda/vertex"] > 50 && check["omp/vertex"] > 50 &&
-                         check["cpp/vertex"] > 50);
-  bench::shape_check("push dominates the winners in every model",
-                     check["cuda/push"] > 50 && check["omp/push"] > 50 &&
-                         check["cpp/push"] > 50);
-  bench::shape_check("non-deterministic dominates the winners in every model",
-                     check["cuda/nondet"] > 50 && check["omp/nondet"] > 50 &&
-                         check["cpp/nondet"] > 50);
-  bench::shape_check("C++ threads leans topology-driven more than CUDA",
-                     check["cpp/topo"] >= check["cuda/topo"]);
-  return bench::exit_code();
+    bench::shape_check("vertex-based dominates the winners in every model",
+                       check["cuda/vertex"] > 50 && check["omp/vertex"] > 50 &&
+                           check["cpp/vertex"] > 50);
+    bench::shape_check("push dominates the winners in every model",
+                       check["cuda/push"] > 50 && check["omp/push"] > 50 &&
+                           check["cpp/push"] > 50);
+    bench::shape_check(
+        "non-deterministic dominates the winners in every model",
+        check["cuda/nondet"] > 50 && check["omp/nondet"] > 50 &&
+            check["cpp/nondet"] > 50);
+    bench::shape_check("C++ threads leans topology-driven more than CUDA",
+                       check["cpp/topo"] >= check["cuda/topo"]);
+    return 0;
+  });
 }

@@ -1,0 +1,324 @@
+// The whole reproduction as one job DAG.
+//
+// sweep_all runs every selected (variant x graph) measurement of the study
+// through the sweep runtime (src/sched): graph materialization jobs feed
+// the measurement jobs that depend on them, per-model aggregation jobs wait
+// on their model's measurements, and a final report job checkpoints the
+// result journal and prints the resume accounting CI asserts on. Progress
+// and an ETA stream to stderr from the executor's monitor thread.
+//
+// Flags:
+//   --smoke        tiny inputs (REPRO_SCALE=0) and BFS only; used by CI's
+//                  kill/resume check
+//   --bench        time the sequential loop vs the scheduled pool on the
+//                  virtual-CUDA subset and write BENCH_sweep.json
+//   --model=M --algo=A --workers=N --reps=R   as in the other binaries
+//
+// Interrupt it at any point and re-run: journaled measurements are never
+// re-executed (the journal is fsynced per append), so a resumed sweep only
+// runs what is missing. The final report prints `re-executed: N`, computed
+// from the journal's own accounting, which must be 0.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+#include "bench_util/main.hpp"
+#include "bench_util/printing.hpp"
+#include "obs/counters.hpp"
+#include "sched/executor.hpp"
+#include "sched/job_graph.hpp"
+
+namespace {
+
+using namespace indigo;
+
+int env_retries() {
+  if (const char* env = std::getenv("INDIGO_SCHED_RETRIES")) {
+    return std::max(0, std::atoi(env));
+  }
+  return 1;
+}
+
+double env_timeout_s() {
+  if (const char* env = std::getenv("INDIGO_SCHED_TIMEOUT_S")) {
+    return std::max(0.0, std::atof(env));
+  }
+  return 0;
+}
+
+void print_progress(const sched::Progress& p) {
+  std::fprintf(stderr,
+               "\r[sweep] %zu/%zu done, %zu running, %zu queued, "
+               "%llu steals, elapsed %.1fs, eta %.0fs   ",
+               p.done, p.total, p.running, p.queue_depth,
+               static_cast<unsigned long long>(p.steals), p.elapsed_s,
+               p.eta_s < 0 ? 0.0 : p.eta_s);
+  if (p.done == p.total) std::fputc('\n', stderr);
+}
+
+struct SweepOutcome {
+  std::size_t total = 0;
+  std::size_t hits = 0;         // journaled before this process ran them
+  std::size_t executed = 0;     // measured fresh
+  std::size_t quarantined = 0;  // hung or crashed past every retry
+  std::size_t verified = 0;
+  double wall_s = 0;
+};
+
+/// Builds and runs the full DAG on `workers` workers (0 = no DAG: the
+/// harness's plain sequential loop semantics, used by --bench as baseline).
+SweepOutcome run_dag(bench::Harness& h, std::optional<Model> model,
+                     std::optional<Algorithm> algo, int reps, int workers,
+                     bool quiet_progress) {
+  const auto t0 = std::chrono::steady_clock::now();
+  SweepOutcome out;
+  const auto selected = Registry::instance().select(model, algo);
+
+  sched::JobGraph jg;
+  const int retries = env_retries();
+  const double timeout_s = env_timeout_s();
+
+  // Stage 1: one materialization job per study input. Model-timed class:
+  // generation is not a reported measurement, so it may share the machine.
+  std::vector<sched::JobId> graph_job(h.num_graphs());
+  for (std::size_t i = 0; i < h.num_graphs(); ++i) {
+    sched::Job j;
+    j.name = "materialize#" + std::to_string(i);
+    j.exec_class = sched::ExecClass::ModelTimed;
+    j.work = [&h, i](const sched::JobContext&) { h.materialize_graph(i); };
+    graph_job[i] = jg.add(std::move(j));
+  }
+
+  // Stage 2: one measurement job per (variant, graph), depending on its
+  // graph. Journal hits are counted at run time (the graph's name - part of
+  // the journal key - only exists once stage 1 materialized it).
+  struct Cell {
+    const Variant* v;
+    std::size_t graph;
+  };
+  std::vector<Cell> cells;
+  std::vector<std::optional<Measurement>> slots;
+  std::atomic<std::size_t> hits{0};
+  for (const Variant* v : selected) {
+    for (std::size_t i = 0; i < h.num_graphs(); ++i) cells.push_back({v, i});
+  }
+  slots.resize(cells.size());
+  std::vector<sched::JobId> cell_job(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    sched::Job j;
+    j.name = cell.v->name + "@g" + std::to_string(cell.graph);
+    j.exec_class = cell.v->model == Model::Cuda && !obs::enabled()
+                       ? sched::ExecClass::ModelTimed
+                       : sched::ExecClass::WallClock;
+    j.timeout_s = timeout_s;
+    j.max_retries = retries;
+    j.work = [&h, &cells, &slots, &hits, c, reps](const sched::JobContext&) {
+      const Cell& cc = cells[c];
+      const Graph& g = h.graph(cc.graph);
+      if (h.cached(*cc.v, g, nullptr)) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      slots[c] = h.measure_one(*cc.v, g, nullptr, reps);
+    };
+    cell_job[c] = jg.add(std::move(j));
+    jg.depend(cell_job[c], graph_job[cell.graph]);
+  }
+
+  // Stage 3: per-model aggregation, then the final checkpoint/report job.
+  sched::Job report;
+  report.name = "report";
+  report.exec_class = sched::ExecClass::ModelTimed;
+  report.work = [&h](const sched::JobContext&) {
+    h.result_store().checkpoint();
+  };
+  const sched::JobId report_id = jg.add(std::move(report));
+  for (Model m : kAllModels) {
+    std::vector<std::size_t> mine;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c].v->model == m) mine.push_back(c);
+    }
+    if (mine.empty()) continue;
+    sched::Job agg;
+    agg.name = std::string("aggregate:") + to_string(m);
+    agg.exec_class = sched::ExecClass::ModelTimed;
+    agg.work = [&slots, &cells, mine, m](const sched::JobContext&) {
+      std::size_t verified = 0, measured = 0;
+      for (std::size_t c : mine) {
+        if (!slots[c]) continue;
+        ++measured;
+        verified += slots[c]->verified;
+      }
+      std::cout << "[sweep] " << to_string(m) << ": " << verified << '/'
+                << measured << " verified of " << mine.size()
+                << " measurements\n";
+    };
+    const sched::JobId agg_id = jg.add(std::move(agg));
+    for (std::size_t c : mine) jg.depend(agg_id, cell_job[c]);
+    jg.depend(report_id, agg_id);
+  }
+
+  sched::ExecutorOptions eo;
+  eo.num_workers = workers;
+  if (!quiet_progress) eo.on_progress = print_progress;
+  const auto statuses = sched::Executor(eo).run(jg);
+
+  out.total = cells.size();
+  out.hits = hits.load();
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (!slots[c]) {
+      ++out.quarantined;
+      std::cerr << "[warn] quarantined: " << jg.job(cell_job[c]).name << ": "
+                << statuses[cell_job[c]].error << '\n';
+      continue;
+    }
+    out.verified += slots[c]->verified;
+  }
+  out.executed = out.total - out.hits - out.quarantined;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+  return out;
+}
+
+/// --bench: wall-clock of the sequential reference loop vs the scheduled
+/// pool on the virtual-CUDA subset, from cold journals both times.
+int run_bench_mode(std::optional<Algorithm> algo, int reps, int workers) {
+  const int pool = sched::Executor::resolve_workers(workers);
+  ::setenv("REPRO_CACHE", "", 1);  // in-memory stores: no reuse between runs
+
+  bench::Harness seq;
+  bench::SweepOptions sw;
+  sw.model = Model::Cuda;
+  sw.algo = algo;
+  sw.reps = reps;
+  sw.workers = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto ms_seq = seq.sweep(sw);
+  const double seq_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  bench::Harness sched_h;
+  sw.workers = pool;
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ms_sched = sched_h.sweep(sw);
+  const double sched_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+          .count();
+
+  std::ofstream json("BENCH_sweep.json");
+  json.precision(6);
+  json << "{\n"
+       << "  \"subset\": \"cuda" << (algo ? std::string("/") + to_string(*algo)
+                                          : std::string())
+       << "\",\n"
+       << "  \"measurements\": " << ms_seq.size() << ",\n"
+       << "  \"workers\": " << pool << ",\n"
+       << "  \"sequential_s\": " << seq_s << ",\n"
+       << "  \"scheduled_s\": " << sched_s << ",\n"
+       << "  \"speedup\": " << (sched_s > 0 ? seq_s / sched_s : 0) << "\n"
+       << "}\n";
+  std::cout << "[bench] sequential " << seq_s << "s, scheduled (" << pool
+            << " workers) " << sched_s << "s -> BENCH_sweep.json\n";
+  return ms_seq.size() == ms_sched.size() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, bench_mode = false;
+  std::optional<Model> model;
+  std::optional<Algorithm> algo;
+  int reps = 1;
+  int workers = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    bool ok = true;
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--bench") {
+      bench_mode = true;
+    } else if (key == "--model") {
+      ok = false;
+      for (Model m : kAllModels) {
+        if (val == to_string(m)) {
+          model = m;
+          ok = true;
+        }
+      }
+    } else if (key == "--algo") {
+      ok = false;
+      for (Algorithm a : kAllAlgorithms) {
+        if (val == to_string(a)) {
+          algo = a;
+          ok = true;
+        }
+      }
+    } else if (key == "--reps") {
+      reps = std::atoi(val.c_str());
+      ok = reps > 0;
+    } else if (key == "--workers") {
+      workers = std::atoi(val.c_str());
+      ok = workers >= 0;
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      std::cerr << "usage: sweep_all [--smoke] [--bench] [--model=M] "
+                   "[--algo=A] [--reps=N] [--workers=N]\n";
+      return 2;
+    }
+  }
+  if (smoke) {
+    ::setenv("REPRO_SCALE", "0", 1);
+    if (!algo) algo = Algorithm::BFS;
+  }
+  if (bench_mode) return run_bench_mode(algo, reps, workers);
+
+  bench::print_header(
+      "Sweep", "The full study as one fault-tolerant job DAG",
+      "All selected (variant x graph) measurements execute through the "
+      "sweep runtime; interrupted sweeps resume from the journal with "
+      "zero re-executed jobs.");
+
+  bench::Harness h{bench::Harness::DeferGraphs{}};
+  const std::size_t journal_at_start = h.result_store().size();
+  const int pool = sched::Executor::resolve_workers(workers);
+  const SweepOutcome out = run_dag(h, model, algo, reps, pool, false);
+
+  // Resume accounting straight from the journal: an executed job whose key
+  // was already journaled would overwrite instead of grow the map, so
+  //   re-executed = appends - (final size - initial size).
+  const std::size_t appended = h.result_store().appended();
+  const std::size_t grew = h.result_store().size() - journal_at_start;
+  const std::size_t re_executed = appended - grew;
+
+  std::cout << "[sweep] journal hits: " << out.hits << '/' << out.total
+            << " (" << (out.total ? 100 * out.hits / out.total : 0)
+            << "%), executed: " << out.executed
+            << ", quarantined: " << out.quarantined
+            << ", re-executed: " << re_executed << '\n'
+            << "[sweep] wall: " << out.wall_s << "s on " << pool
+            << " workers; journal: " << h.result_store().path() << " ("
+            << h.result_store().size() << " entries)\n";
+
+  bench::shape_check("every pair is journaled or quarantined",
+                     out.hits + out.executed + out.quarantined == out.total);
+  bench::shape_check("no journaled measurement was re-executed",
+                     re_executed == 0);
+  bench::shape_check("most measurements verified",
+                     out.verified * 10 >= (out.total - out.quarantined) * 9);
+  return bench::exit_code();
+}

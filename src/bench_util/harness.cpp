@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "sched/executor.hpp"
+#include "sched/job_graph.hpp"
 #include "threading/thread_team.hpp"
 #include "variants/register_all.hpp"
 
@@ -33,116 +34,83 @@ std::string make_key(const std::string& program, const std::string& graph,
   return os.str();
 }
 
-/// metrics map <-> cache field. Encoded as `name=value;name=value` — no
-/// tabs (the cache field separator) and no '=' or ';' appear in counter
-/// names by construction.
-std::string encode_metrics(const std::map<std::string, double>& metrics) {
-  std::ostringstream os;
-  os.precision(17);
-  bool first = true;
-  for (const auto& [k, v] : metrics) {
-    if (!first) os << ';';
-    first = false;
-    os << k << '=' << v;
-  }
-  return os.str();
+std::string device_name_of(const Variant& v, const vcuda::DeviceSpec* device) {
+  return v.model == Model::Cuda
+             ? (device != nullptr ? device->name : "rtx3090_like")
+             : "cpu";
 }
 
-bool decode_metrics(const std::string& field,
-                    std::map<std::string, double>& out) {
-  std::istringstream is(field);
-  std::string item;
-  while (std::getline(is, item, ';')) {
-    const std::size_t eq = item.find('=');
-    if (eq == std::string::npos || eq == 0) return false;
-    try {
-      std::size_t used = 0;
-      const double v = std::stod(item.substr(eq + 1), &used);
-      if (used != item.size() - eq - 1) return false;
-      out[item.substr(0, eq)] = v;
-    } catch (const std::exception&) {
-      return false;
-    }
+/// Sweep-level robustness knobs (documented in docs/SWEEP_RUNTIME.md).
+int env_retries() {
+  if (const char* env = std::getenv("INDIGO_SCHED_RETRIES")) {
+    return std::max(0, std::atoi(env));
   }
-  return true;
+  return 1;
+}
+
+double env_timeout_s() {
+  if (const char* env = std::getenv("INDIGO_SCHED_TIMEOUT_S")) {
+    return std::max(0.0, std::atof(env));
+  }
+  return 0;  // measurements have no deadline unless asked for
+}
+
+/// opts.workers == -1 defers to INDIGO_SCHED_WORKERS, where 0 selects the
+/// plain sequential loop and unset means "scheduler with its default pool".
+int resolve_sweep_workers(int requested) {
+  if (requested >= 0) return requested;
+  if (const char* env = std::getenv("INDIGO_SCHED_WORKERS")) {
+    return std::max(0, std::atoi(env));
+  }
+  return sched::Executor::resolve_workers(0);
 }
 
 }  // namespace
 
-Harness::Harness() {
+Harness::Harness() : Harness(DeferGraphs{}) {
+  for (std::size_t i = 0; i < graphs_.size(); ++i) materialize_graph(i);
+}
+
+Harness::Harness(DeferGraphs) {
   variants::register_all_variants();
   obs::init_from_env();
-  graphs_ = make_study_inputs();
+  graphs_.resize(std::size(kAllInputs));
+  materialized_.assign(graphs_.size(), false);
   verifiers_.resize(graphs_.size());
   const char* env = std::getenv("REPRO_CACHE");
-  cache_path_ = env != nullptr ? env : "repro_cache.csv";
-  load_cache();
+  store_ = std::make_unique<sched::ResultStore>(
+      env != nullptr ? env : "repro_cache.csv");
 }
 
-void Harness::load_cache() {
-  if (cache_path_.empty()) return;
-  std::ifstream in(cache_path_);
-  if (!in) return;  // no cache yet: every entry will be measured fresh
-  std::string line;
-  std::size_t lineno = 0;
-  std::size_t bad = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    // key \t seconds \t throughput \t iterations \t verified [\t metrics]
-    std::istringstream ls(line);
-    std::string key, metrics_field;
-    CacheEntry e{};
-    int verified = 0;
-    const bool core_ok =
-        static_cast<bool>(std::getline(ls, key, '\t')) && !key.empty() &&
-        static_cast<bool>(ls >> e.seconds >> e.throughput >> e.iterations >>
-                          verified) &&
-        (verified == 0 || verified == 1) && e.seconds >= 0;
-    bool metrics_ok = true;
-    if (core_ok) {
-      // Optional 6th field; tolerate its absence (pre-metrics caches).
-      ls >> std::ws;
-      if (std::getline(ls, metrics_field, '\t')) {
-        metrics_ok = decode_metrics(metrics_field, e.metrics);
-      }
-    }
-    if (!core_ok || !metrics_ok) {
-      // A truncated write (crash mid-append) or hand-edited garbage must
-      // not poison the whole cache: drop the line, keep the rest.
-      ++bad;
-      std::cerr << "[warn] " << cache_path_ << ':' << lineno
-                << ": skipping malformed cache line\n";
-      continue;
-    }
-    e.verified = verified != 0;
-    cache_[key] = e;
-  }
-  if (bad > 0) {
-    std::cerr << "[warn] " << cache_path_ << ": ignored " << bad
-              << " malformed line(s); affected entries will be re-measured\n";
-  }
+void Harness::materialize_graph(std::size_t i) {
+  std::lock_guard lk(graphs_mu_);
+  if (materialized_[i]) return;
+  obs::Span span("materialize_graph", "harness");
+  const InputClass c = kAllInputs[i];
+  graphs_[i] = make_input(c, default_input_scale(c));
+  span.arg("graph", graphs_[i].name());
+  materialized_[i] = true;
 }
 
-Harness::CacheEntry* Harness::cache_find(const std::string& key) {
-  const auto it = cache_.find(key);
-  return it == cache_.end() ? nullptr : &it->second;
+const std::vector<Graph>& Harness::graphs() {
+  for (std::size_t i = 0; i < graphs_.size(); ++i) materialize_graph(i);
+  return graphs_;
 }
 
-void Harness::cache_append(const std::string& key, const CacheEntry& e) {
-  cache_[key] = e;
-  if (cache_path_.empty()) return;
-  std::ofstream out(cache_path_, std::ios::app);
-  out.precision(17);  // doubles must round-trip exactly
-  out << key << '\t' << e.seconds << '\t' << e.throughput << '\t'
-      << e.iterations << '\t' << (e.verified ? 1 : 0);
-  if (!e.metrics.empty()) out << '\t' << encode_metrics(e.metrics);
-  out << '\n';
+std::string Harness::key_for(const Variant& v, const Graph& g,
+                             const vcuda::DeviceSpec* device) const {
+  return make_key(v.name, g.name(), device_name_of(v, device), cpu_threads());
+}
+
+bool Harness::cached(const Variant& v, const Graph& g,
+                     const vcuda::DeviceSpec* device) const {
+  return store_->find(key_for(v, g, device)).has_value();
 }
 
 Verifier& Harness::verifier_for(const Graph& g) {
   for (std::size_t i = 0; i < graphs_.size(); ++i) {
     if (&graphs_[i] == &g) {
+      std::lock_guard lk(verifiers_mu_);
       if (!verifiers_[i]) verifiers_[i] = std::make_unique<Verifier>(g, 0);
       return *verifiers_[i];
     }
@@ -184,12 +152,9 @@ void export_measurement(const Measurement& m, const std::string& dev_name,
 
 Measurement Harness::measure_one(const Variant& v, const Graph& g,
                                  const vcuda::DeviceSpec* device, int reps) {
-  const std::string dev_name =
-      v.model == Model::Cuda
-          ? (device != nullptr ? device->name : "rtx3090_like")
-          : "cpu";
+  const std::string dev_name = device_name_of(v, device);
   const std::string key = make_key(v.name, g.name(), dev_name, cpu_threads());
-  if (CacheEntry* e = cache_find(key)) {
+  if (const auto e = store_->find(key)) {
     Measurement m;
     m.program = v.name;
     m.model = v.model;
@@ -218,8 +183,8 @@ Measurement Harness::measure_one(const Variant& v, const Graph& g,
     m.verified = false;
     m.error = ex.what();
   }
-  cache_append(key, {m.seconds, m.throughput_ges, m.iterations, m.verified,
-                     m.metrics});
+  store_->put(key, {m.seconds, m.throughput_ges, m.iterations, m.verified,
+                    m.metrics});
   export_measurement(m, dev_name, /*from_cache=*/false);
   if (!m.verified) {
     std::cerr << "\n[warn] " << m.program << " on " << m.graph
@@ -231,17 +196,113 @@ Measurement Harness::measure_one(const Variant& v, const Graph& g,
 std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
   obs::Span span("sweep", "harness");
   const auto selected = Registry::instance().select(opts.model, opts.algo);
-  std::vector<Measurement> out;
-  std::size_t done = 0;
+  graphs();  // materialize any deferred inputs before enumerating pairs
+  struct Pair {
+    const Variant* v;
+    const Graph* g;
+  };
+  std::vector<Pair> pairs;
   for (const Variant* v : selected) {
     if (opts.style_filter && !opts.style_filter(*v)) continue;
-    for (const Graph& g : graphs_) {
-      out.push_back(measure_one(*v, g, opts.device, opts.reps));
+    for (const Graph& g : graphs_) pairs.push_back({v, &g});
+  }
+
+  SweepStats stats;
+  stats.pairs = pairs.size();
+  std::vector<Measurement> out;
+  out.reserve(pairs.size());
+  const int workers = resolve_sweep_workers(opts.workers);
+
+  if (workers == 0) {
+    // The plain sequential loop: the scheduler bypassed entirely. Kept as
+    // the reference path the scheduled one must reproduce bit-identically
+    // (tests/test_sched.cpp) and as the --bench baseline.
+    std::size_t done = 0;
+    for (const Pair& p : pairs) {
+      if (store_->find(key_for(*p.v, *p.g, opts.device))) {
+        ++stats.cache_hits;
+      } else {
+        ++stats.executed;
+      }
+      out.push_back(measure_one(*p.v, *p.g, opts.device, opts.reps));
       if (++done % 50 == 0) std::cerr << '.' << std::flush;
     }
+    if (done >= 50) std::cerr << '\n';
+  } else {
+    // Thin client of the sweep runtime: one job per pair missing from the
+    // journal. Model-timed vcuda jobs share the pool; wall-clock CPU jobs
+    // (and every job of an instrumented sweep, whose counter deltas must
+    // not interleave) take the exclusive lane.
+    sched::JobGraph jg;
+    std::vector<std::optional<Measurement>> slots(pairs.size());
+    std::vector<sched::JobId> job_of(pairs.size(), sched::kInvalidJob);
+    std::atomic<std::size_t> dots{0};
+    const int retries = env_retries();
+    const double timeout_s = env_timeout_s();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& p = pairs[i];
+      if (store_->find(key_for(*p.v, *p.g, opts.device))) {
+        ++stats.cache_hits;
+        continue;
+      }
+      sched::Job j;
+      j.name = p.v->name + "@" + p.g->name();
+      j.exec_class = p.v->model == Model::Cuda && !obs::enabled()
+                         ? sched::ExecClass::ModelTimed
+                         : sched::ExecClass::WallClock;
+      j.timeout_s = timeout_s;
+      j.max_retries = retries;
+      j.work = [this, i, &slots, &pairs, &opts,
+                &dots](const sched::JobContext&) {
+        const Pair& q = pairs[i];
+        slots[i] = measure_one(*q.v, *q.g, opts.device, opts.reps);
+        if ((dots.fetch_add(1, std::memory_order_relaxed) + 1) % 50 == 0) {
+          std::cerr << '.' << std::flush;
+        }
+      };
+      job_of[i] = jg.add(std::move(j));
+    }
+    std::vector<sched::JobStatus> statuses;
+    if (jg.size() > 0) {
+      sched::ExecutorOptions eo;
+      eo.num_workers = workers;
+      statuses = sched::Executor(eo).run(jg);
+    }
+    if (dots.load() >= 50) std::cerr << '\n';
+    // Merge in deterministic pair order, independent of completion order.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (slots[i]) {
+        ++stats.executed;
+        out.push_back(std::move(*slots[i]));
+        continue;
+      }
+      if (job_of[i] == sched::kInvalidJob) {
+        out.push_back(  // journal hit; resolves without running anything
+            measure_one(*pairs[i].v, *pairs[i].g, opts.device, opts.reps));
+        continue;
+      }
+      // The job never produced a measurement: quarantined (hung or threw
+      // outside measure_one's own catch). Record-and-exclude, like the
+      // paper excludes failed runs; downstream filters on `verified`.
+      ++stats.quarantined;
+      const Pair& p = pairs[i];
+      Measurement m;
+      m.program = p.v->name;
+      m.model = p.v->model;
+      m.algo = p.v->algo;
+      m.style = p.v->style;
+      m.graph = p.g->name();
+      m.verified = false;
+      m.error = "quarantined: " + statuses[job_of[i]].error;
+      std::cerr << "\n[warn] " << m.program << " on " << m.graph << ' '
+                << m.error << '\n';
+      out.push_back(std::move(m));
+    }
   }
-  if (done >= 50) std::cerr << '\n';
-  span.arg("measurements", static_cast<double>(done));
+  stats_ = stats;
+  span.arg("measurements", static_cast<double>(pairs.size()));
+  span.arg("cache_hits", static_cast<double>(stats.cache_hits));
+  span.arg("executed", static_cast<double>(stats.executed));
   return out;
 }
 

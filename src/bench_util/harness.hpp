@@ -1,17 +1,21 @@
 // Shared harness for the per-figure/table bench binaries.
 //
 // A Harness owns the five study inputs, runs (variant x graph) sweeps with
-// verification, and memoizes every measurement in a CSV cache file so the
-// ~18 bench binaries can share one full-suite sweep instead of re-running
-// it. Ratio utilities implement the paper's methodology (Section 5
-// preamble): to compare two alternatives of one style dimension, pair up
-// programs that are identical in every other dimension and divide their
-// throughputs.
+// verification, and memoizes every measurement in a journaled result store
+// (src/sched/result_store.hpp) so the ~20 bench binaries can share one
+// full-suite sweep instead of re-running it. Sweeps execute through the
+// sweep runtime (src/sched): model-timed vcuda jobs run concurrently on a
+// work-stealing pool while wall-clock CPU jobs serialize through the
+// exclusive lane, so parallelism never distorts a reported CPU time (see
+// docs/SWEEP_RUNTIME.md). Ratio utilities implement the paper's
+// methodology (Section 5 preamble): to compare two alternatives of one
+// style dimension, pair up programs that are identical in every other
+// dimension and divide their throughputs.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,6 +25,7 @@
 #include "core/runner.hpp"
 #include "core/validity.hpp"
 #include "graph/generate.hpp"
+#include "sched/result_store.hpp"
 #include "stats/summary.hpp"
 #include "vcuda/device_spec.hpp"
 
@@ -34,46 +39,78 @@ struct SweepOptions {
   /// Only variants whose style passes this predicate (nullptr = all).
   std::function<bool(const Variant&)> style_filter;
   int reps = 1;
+  /// Scheduler pool for this sweep: -1 = resolve INDIGO_SCHED_WORKERS (its
+  /// default is a small pool), 0 = the plain sequential loop bypassing the
+  /// scheduler entirely, N > 0 = a pool of exactly N workers.
+  int workers = -1;
+};
+
+/// Accounting of the most recent sweep() (resume/quarantine diagnostics).
+struct SweepStats {
+  std::size_t pairs = 0;        // (variant, graph) pairs selected
+  std::size_t cache_hits = 0;   // served from the result journal
+  std::size_t executed = 0;     // measured fresh by this sweep
+  std::size_t quarantined = 0;  // failed every attempt; excluded
 };
 
 class Harness {
  public:
   /// Registers all variants, generates the study inputs at their default
-  /// scales, and opens the measurement cache (path from REPRO_CACHE, else
-  /// "repro_cache.csv" in the working directory; empty string disables).
+  /// scales, and opens the journaled measurement store (path from
+  /// REPRO_CACHE, else "repro_cache.csv" in the working directory; empty
+  /// string keeps results in memory only).
   Harness();
 
-  [[nodiscard]] const std::vector<Graph>& graphs() const { return graphs_; }
+  /// Deferred mode: everything except the graphs, which materialize on
+  /// first use - materialize_graph(i) builds one, graphs() builds the rest.
+  /// Lets an orchestrator schedule graph materialization as explicit jobs
+  /// ahead of the measurements that depend on them (bench/sweep_all).
+  struct DeferGraphs {};
+  explicit Harness(DeferGraphs);
 
-  /// Measures every selected (variant, graph) pair; cached results are
-  /// reused. Prints a progress dot stream to stderr.
+  /// All five study inputs, materializing any still deferred.
+  [[nodiscard]] const std::vector<Graph>& graphs();
+  [[nodiscard]] std::size_t num_graphs() const { return graphs_.size(); }
+  /// Generates graph i if it is still deferred (thread-safe, idempotent).
+  void materialize_graph(std::size_t i);
+  /// Graph i, which must have been materialized.
+  [[nodiscard]] const Graph& graph(std::size_t i) const { return graphs_[i]; }
+
+  /// Measures every selected (variant, graph) pair through the sweep
+  /// runtime; journaled results are reused. Prints a progress dot stream to
+  /// stderr. The returned order is deterministic (registry x graph order)
+  /// regardless of the worker count.
   std::vector<Measurement> sweep(const SweepOptions& opts);
 
-  /// Convenience: one measurement (cached).
+  /// Convenience: one measurement (journaled). Thread-safe.
   Measurement measure_one(const Variant& v, const Graph& g,
                           const vcuda::DeviceSpec* device, int reps);
+
+  /// Whether measure_one would be served from the journal.
+  [[nodiscard]] bool cached(const Variant& v, const Graph& g,
+                            const vcuda::DeviceSpec* device) const;
+
+  /// Outcome counts of the most recent sweep().
+  [[nodiscard]] const SweepStats& last_sweep_stats() const { return stats_; }
+
+  /// The journaled measurement store (checkpointing, resume stats).
+  [[nodiscard]] sched::ResultStore& result_store() { return *store_; }
 
   [[nodiscard]] RunOptions base_run_options(
       const vcuda::DeviceSpec* device) const;
 
  private:
-  std::vector<Graph> graphs_;
-  std::string cache_path_;
-  // key -> cached measurement fields
-  struct CacheEntry {
-    double seconds = 0;
-    double throughput = 0;
-    std::uint64_t iterations = 0;
-    bool verified = false;
-    std::map<std::string, double> metrics;  // obs counters, may be empty
-  };
-  std::map<std::string, CacheEntry> cache_;
-  std::vector<std::unique_ptr<Verifier>> verifiers_;
-
-  void load_cache();
-  CacheEntry* cache_find(const std::string& key);
-  void cache_append(const std::string& key, const CacheEntry& e);
+  std::string key_for(const Variant& v, const Graph& g,
+                      const vcuda::DeviceSpec* device) const;
   Verifier& verifier_for(const Graph& g);
+
+  std::vector<Graph> graphs_;
+  std::vector<bool> materialized_;
+  std::mutex graphs_mu_;
+  std::unique_ptr<sched::ResultStore> store_;
+  std::vector<std::unique_ptr<Verifier>> verifiers_;
+  std::mutex verifiers_mu_;
+  SweepStats stats_;
 };
 
 /// All pairwise throughput ratios value_a-over-value_b of one dimension,

@@ -1,0 +1,101 @@
+#include "bench_util/main.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "bench_util/printing.hpp"
+#include "obs/counters.hpp"
+
+namespace indigo::bench {
+namespace {
+
+bool parse_model(const std::string& s, std::optional<Model>& out) {
+  for (Model m : kAllModels) {
+    if (s == to_string(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_algo(const std::string& s, std::optional<Algorithm>& out) {
+  for (Algorithm a : kAllAlgorithms) {
+    if (s == to_string(a)) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+void print_usage(const char* prog) {
+  std::cerr << "usage: " << prog
+            << " [--model=cuda|omp|cpp] [--algo=cc|mis|pr|tc|bfs|sssp]"
+               " [--reps=N] [--workers=N]\n"
+               "  --workers=0 runs the plain sequential sweep loop;"
+               " see docs/SWEEP_RUNTIME.md\n";
+}
+
+}  // namespace
+
+SweepOptions BenchArgs::sweep() const {
+  SweepOptions sw;
+  sw.model = model;
+  sw.algo = algo;
+  sw.reps = reps;
+  sw.workers = workers;
+  return sw;
+}
+
+std::vector<Model> BenchArgs::models() const {
+  if (model) return {*model};
+  return {std::begin(kAllModels), std::end(kAllModels)};
+}
+
+int Main(int argc, char** argv, const MainOptions& mo,
+         const std::function<int(Harness&, const BenchArgs&)>& body) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    bool ok = eq != std::string::npos;
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return 0;
+    } else if (key == "--model") {
+      ok = ok && parse_model(val, args.model);
+    } else if (key == "--algo") {
+      ok = ok && parse_algo(val, args.algo);
+    } else if (key == "--reps") {
+      ok = ok && std::atoi(val.c_str()) > 0;
+      if (ok) args.reps = std::atoi(val.c_str());
+    } else if (key == "--workers") {
+      args.workers = std::atoi(val.c_str());
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      std::cerr << "bad argument: " << arg << '\n';
+      print_usage(argv[0]);
+      return 2;
+    }
+  }
+  if (mo.force_obs) obs::set_enabled(true);
+  print_header(mo.id, mo.title, mo.paper_claim);
+  try {
+    Harness h;
+    const int rc = body(h, args);
+    return rc != 0 ? rc : exit_code();
+  } catch (const std::exception& ex) {
+    std::cerr << "[error] " << mo.id << ": " << ex.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace indigo::bench

@@ -27,6 +27,7 @@ std::string mismatch(const std::string& what, std::size_t index,
 }  // namespace
 
 std::string Verifier::check(Algorithm a, const AlgoOutput& out) {
+  std::lock_guard lk(mu_);
   const vid_t n = g_.num_vertices();
   switch (a) {
     case Algorithm::BFS: {

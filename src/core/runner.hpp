@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,9 +54,12 @@ class Verifier {
   Verifier(const Graph& g, vid_t source);
 
   /// Empty string if correct, otherwise a description of the mismatch.
+  /// Thread-safe: one Verifier is shared by every concurrent measurement
+  /// of the same graph, and the lazily built references must not race.
   std::string check(Algorithm a, const AlgoOutput& out);
 
  private:
+  std::mutex mu_;
   const Graph& g_;
   vid_t source_;
   std::vector<dist_t> bfs_, sssp_;
