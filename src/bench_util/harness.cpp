@@ -8,6 +8,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "racecheck/racecheck.hpp"
 #include "sched/executor.hpp"
 #include "sched/job_graph.hpp"
 #include "threading/thread_team.hpp"
@@ -31,6 +32,8 @@ std::string make_key(const std::string& program, const std::string& graph,
   // Instrumented runs carry counter payloads and must not shadow (or be
   // shadowed by) plain timing entries recorded without them.
   if (obs::enabled()) os << "|obs";
+  // Same reasoning for racecheck.* audit payloads.
+  if (racecheck::enabled()) os << "|rc";
   return os.str();
 }
 
@@ -123,6 +126,7 @@ RunOptions Harness::base_run_options(const vcuda::DeviceSpec* device) const {
   opts.source = 0;
   opts.num_threads = cpu_threads();
   opts.device = device;
+  opts.racecheck = racecheck::enabled();
   return opts;
 }
 
@@ -195,6 +199,9 @@ Measurement Harness::measure_one(const Variant& v, const Graph& g,
 
 std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
   obs::Span span("sweep", "harness");
+  // Ambient enable for the whole sweep: measure_one (and the vcuda Devices
+  // constructed inside the variants) read the global flag.
+  racecheck::ScopedEnable rc_scope(opts.racecheck);
   const auto selected = Registry::instance().select(opts.model, opts.algo);
   graphs();  // materialize any deferred inputs before enumerating pairs
   struct Pair {
@@ -247,9 +254,10 @@ std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
       }
       sched::Job j;
       j.name = p.v->name + "@" + p.g->name();
-      j.exec_class = p.v->model == Model::Cuda && !obs::enabled()
-                         ? sched::ExecClass::ModelTimed
-                         : sched::ExecClass::WallClock;
+      j.exec_class =
+          p.v->model == Model::Cuda && !obs::enabled() && !racecheck::enabled()
+              ? sched::ExecClass::ModelTimed
+              : sched::ExecClass::WallClock;
       j.timeout_s = timeout_s;
       j.max_retries = retries;
       j.work = [this, i, &slots, &pairs, &opts,

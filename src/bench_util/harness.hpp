@@ -43,6 +43,11 @@ struct SweepOptions {
   /// default is a small pool), 0 = the plain sequential loop bypassing the
   /// scheduler entirely, N > 0 = a pool of exactly N workers.
   int workers = -1;
+  /// Run every measurement under the race/determinism checker (see
+  /// docs/RACECHECK.md). Checked jobs take the exclusive lane so their
+  /// global tallies never interleave, and their journal entries are keyed
+  /// separately ("|rc") from plain timing runs.
+  bool racecheck = false;
 };
 
 /// Accounting of the most recent sweep() (resume/quarantine diagnostics).

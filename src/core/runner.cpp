@@ -9,6 +9,8 @@
 #include "core/registry.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "racecheck/racecheck.hpp"
+#include "threading/worklist.hpp"
 
 namespace indigo {
 
@@ -129,6 +131,15 @@ Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
   span.arg("program", v.name);
   span.arg("graph", g.name());
 
+  // Racecheck: honor an explicit request or an ambient enable (a sweep
+  // turns it on around all its jobs). The shadow state lives inside the
+  // run; only its global tallies are sampled here.
+  const bool racecheck_on = opts.racecheck || racecheck::enabled();
+  racecheck::ScopedEnable rc_scope(racecheck_on);
+  racecheck::Report rc_before;
+  if (racecheck_on) rc_before = racecheck::global_report();
+  const std::uint64_t overflow_before = worklist_overflow_count();
+
   std::vector<double> times;
   RunResult last;
   for (int r = 0; r < std::max(1, reps); ++r) {
@@ -144,14 +155,18 @@ Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
     }
   }
   std::sort(times.begin(), times.end());
-  m.seconds = times[times.size() / 2];
+  // True median: the midpoint average of the two central elements for even
+  // sizes (times[size/2] alone is the upper one, biasing even --reps high).
+  const std::size_t mid = times.size() / 2;
+  m.seconds = times.size() % 2 == 1 ? times[mid]
+                                    : 0.5 * (times[mid - 1] + times[mid]);
   m.iterations = last.iterations;
+  const double denom = std::max(1, reps);
   if (observe) {
     m.metrics = obs::CounterRegistry::delta(
         before, obs::CounterRegistry::instance().snapshot());
     // Counters accumulated over every rep; report the per-run average.
     // Distribution extremes (.min/.max) are run-final values, not sums.
-    const double denom = std::max(1, reps);
     for (auto& [key, value] : m.metrics) {
       if (key.ends_with(".min") || key.ends_with(".max")) continue;
       value /= denom;
@@ -159,9 +174,22 @@ Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
     span.arg("seconds", m.seconds);
     span.arg("iterations", static_cast<double>(m.iterations));
   }
+  if (racecheck_on) {
+    // Written directly (not through the obs counter snapshot) so the audit
+    // works with tracing off; per-rep averages like the obs counters.
+    const racecheck::Report rc_delta =
+        racecheck::diff(racecheck::global_report(), rc_before);
+    for (const auto& [key, value] : racecheck::metric_entries(rc_delta)) {
+      m.metrics[key] = value / denom;
+    }
+  }
   span.end();
   if (!last.converged) {
     m.error = "did not converge within max_iterations";
+    return m;
+  }
+  if (worklist_overflow_count() != overflow_before) {
+    m.error = "worklist overflow: pushes were dropped (undersized capacity)";
     return m;
   }
   m.error = verifier.check(v.algo, last.output);

@@ -37,6 +37,12 @@ struct RunOptions {
   ThreadTeam* team = nullptr;                  // optional reusable team
   double pr_epsilon = 1e-6;                    // PR convergence threshold
   std::uint64_t max_iterations = 1u << 22;     // convergence guard
+  /// Enable the dynamic race/determinism checker for this run (see
+  /// src/racecheck): vcuda devices build shadow state, CPU runs audit the
+  /// synchronization discipline. Findings land in Measurement::metrics as
+  /// racecheck.* entries. Off by default — checking perturbs nothing when
+  /// off and only vcuda's simulated time stays exact when on.
+  bool racecheck = false;
 };
 
 /// What one variant execution produced.
@@ -86,7 +92,8 @@ struct Measurement {
   bool verified = false;
   std::string error;
   /// Per-run observability counters (counter-name -> per-rep delta), filled
-  /// only while the obs layer is enabled (INDIGO_TRACE / INDIGO_METRICS).
+  /// only while the obs layer is enabled (INDIGO_TRACE / INDIGO_METRICS),
+  /// plus racecheck.* audit tallies when RunOptions::racecheck is on.
   /// Cycle-valued counters are averages over reps, hence double.
   std::map<std::string, double> metrics;
 };

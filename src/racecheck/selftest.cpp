@@ -1,0 +1,46 @@
+#include "racecheck/selftest.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "vcuda/sim.hpp"
+
+namespace indigo::racecheck::selftest {
+
+Report injected_race_report(const vcuda::DeviceSpec& spec) {
+  ScopedEnable on(true);
+  vcuda::Device dev(spec);
+  std::vector<std::uint32_t> host(1, 0);
+  auto cell = dev.array(std::span<std::uint32_t>(host));
+  // Every thread of every block stores into cell 0 with no atomics and no
+  // barrier; odd threads store 1, even threads 1000, so the value swings in
+  // both directions — the canonical harmful race.
+  dev.launch(4, 32, [&](vcuda::Block& blk) {
+    blk.for_each_thread([&](vcuda::Thread& t) {
+      cell.st(t, 0, t.gidx() % 2 == 0 ? 1000u : 1u);
+      (void)cell.ld(t, 0);
+    });
+  });
+  return dev.racecheck_report();
+}
+
+Report synced_control_report(const vcuda::DeviceSpec& spec) {
+  ScopedEnable on(true);
+  vcuda::Device dev(spec);
+  std::vector<std::uint32_t> host(64, 0);
+  auto arr = dev.array(std::span<std::uint32_t>(host));
+  // One block: thread 0 publishes, __syncthreads, everyone reads; plus each
+  // thread owns a private slot. Both patterns are race-free and must not
+  // trip any conflict class.
+  dev.launch(1, 64, [&](vcuda::Block& blk) {
+    blk.for_each_thread([&](vcuda::Thread& t) {
+      if (t.thread_idx() == 0) arr.st(t, 0, 42u);
+      arr.st(t, t.thread_idx(), t.thread_idx());
+    });
+    blk.sync();
+    blk.for_each_thread([&](vcuda::Thread& t) { (void)arr.ld(t, 0); });
+  });
+  return dev.racecheck_report();
+}
+
+}  // namespace indigo::racecheck::selftest

@@ -1,0 +1,25 @@
+// Negative-test kernels for the racecheck detector.
+//
+// A detector that never fires is indistinguishable from a working one, so
+// the audit (bench/racecheck_audit) and the unit tests run two tiny vcuda
+// kernels with known ground truth:
+//   * injected_race_report: many blocks plain-store alternating values into
+//     a single cell with no synchronization — a direction-reversing
+//     write-write race the checker MUST classify harmful.
+//   * synced_control_report: the same data flow made correct with
+//     __syncthreads and per-thread slots — the checker MUST stay silent.
+#pragma once
+
+#include "racecheck/racecheck.hpp"
+#include "vcuda/device_spec.hpp"
+
+namespace indigo::racecheck::selftest {
+
+/// Per-device report of the deliberately racy kernel (harmful > 0 expected).
+Report injected_race_report(const vcuda::DeviceSpec& spec);
+
+/// Per-device report of the properly synchronized kernel (all zero
+/// expected).
+Report synced_control_report(const vcuda::DeviceSpec& spec);
+
+}  // namespace indigo::racecheck::selftest

@@ -95,19 +95,34 @@ std::string fmt(double v) {
 
 std::string render_boxen(const std::vector<NamedSample>& samples,
                          const std::string& y_label, double reference_line) {
+  // A log axis cannot place nonpositive values; drop them up front (with an
+  // explicit annotation below) instead of clamping them to a fake 1e-12
+  // point that stretches the axis and plots as a real observation.
+  std::size_t omitted = 0;
   // Collect log10 range across all samples.
   double lo = 1e300, hi = -1e300;
   std::vector<LetterValues> lvs;
   lvs.reserve(samples.size());
   for (const auto& s : samples) {
-    lvs.push_back(letter_values(s.values));
-    if (!s.values.empty()) {
+    std::vector<double> positive;
+    positive.reserve(s.values.size());
+    for (const double v : s.values) {
+      if (v > 0.0) {
+        positive.push_back(v);
+      } else {
+        ++omitted;
+      }
+    }
+    lvs.push_back(letter_values(std::move(positive)));
+    if (lvs.back().count > 0) {
       lo = std::min(lo, lvs.back().min);
       hi = std::max(hi, lvs.back().max);
     }
   }
-  if (lo > hi) return "(no data)\n";
-  lo = std::max(lo, 1e-12);
+  std::string annotation =
+      omitted == 0 ? std::string{}
+                   : "  (" + std::to_string(omitted) + " nonpositive omitted)";
+  if (lo > hi) return "(no data)" + annotation + "\n";
   hi = std::max(hi, lo * 1.0001);
   const double llo = std::floor(std::log10(lo));
   const double lhi = std::ceil(std::log10(hi));
@@ -160,7 +175,8 @@ std::string render_boxen(const std::vector<NamedSample>& samples,
   }
   std::ostringstream out;
   out << "  " << y_label << " (log scale; '=' median, '#' letter-value boxes,"
-      << " 'o' outliers, '-' ratio=" << fmt(reference_line) << ")\n";
+      << " 'o' outliers, '-' ratio=" << fmt(reference_line) << ")" << annotation
+      << "\n";
   for (const auto& row : canvas) out << row << '\n';
   out << std::string(8, ' ');
   for (const auto& s : samples) {

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/counters.hpp"
+#include "racecheck/racecheck.hpp"
 
 namespace indigo {
 
@@ -61,6 +62,14 @@ ThreadTeam::~ThreadTeam() {
 }
 
 void ThreadTeam::run(const std::function<void(int, int)>& fn) {
+  if (racecheck::enabled()) {
+    // A worker re-entering run() would deadlock on the join; flag it as a
+    // synchronization-discipline violation before the epoch advances.
+    if (racecheck::cpu_in_worker()) {
+      racecheck::cpu_note_violation("nested ThreadTeam::run from a worker");
+    }
+    racecheck::cpu_region_begin();
+  }
   std::unique_lock lock(mu_);
   job_ = &fn;
   first_error_ = nullptr;
@@ -69,6 +78,7 @@ void ThreadTeam::run(const std::function<void(int, int)>& fn) {
   cv_start_.notify_all();
   cv_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  if (racecheck::enabled()) racecheck::cpu_region_end();
   if (first_error_) std::rethrow_exception(first_error_);
   // All workers are parked again, so busy_s_ is quiescent here.
   if (obs::enabled()) obs_detail::note_region(busy_s_);
@@ -89,6 +99,8 @@ void ThreadTeam::worker_loop(int tid) {
     }
     std::exception_ptr err;
     const bool timed = obs::enabled();
+    const bool rc = racecheck::enabled();
+    if (rc) racecheck::cpu_set_in_worker(true);
     const auto t0 = timed ? std::chrono::steady_clock::now()
                           : std::chrono::steady_clock::time_point{};
     try {
@@ -96,6 +108,7 @@ void ThreadTeam::worker_loop(int tid) {
     } catch (...) {
       err = std::current_exception();
     }
+    if (rc) racecheck::cpu_set_in_worker(false);
     if (timed) {
       busy_s_[static_cast<std::size_t>(tid)] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

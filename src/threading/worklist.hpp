@@ -8,12 +8,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <stdexcept>
 #include <vector>
 
 #include "graph/types.hpp"
 #include "obs/counters.hpp"
+#include "racecheck/racecheck.hpp"
 
 namespace indigo {
 
@@ -30,27 +31,68 @@ inline void note_drain(std::size_t n) {
       obs::CounterRegistry::instance().counter("worklist.pops");
   c.add(n);
 }
+
+/// Pushes dropped by capacity overflow, process-wide. Checked by
+/// runner::measure around each run so an overflow surfaces as
+/// Measurement::error instead of a crash (or, worse, silence).
+inline std::atomic<std::uint64_t>& overflow_counter() {
+  static std::atomic<std::uint64_t> c{0};
+  return c;
+}
 }  // namespace worklist_detail
+
+/// Total worklist pushes dropped so far, process-wide.
+inline std::uint64_t worklist_overflow_count() {
+  return worklist_detail::overflow_counter().load(std::memory_order_relaxed);
+}
 
 class Worklist {
  public:
   /// Capacity must bound the pushes of one iteration; data-driven codes
   /// with duplicates can push once per processed arc.
-  explicit Worklist(std::size_t capacity) : items_(capacity) {}
+  explicit Worklist(std::size_t capacity) : items_(capacity) {
+    if (racecheck::enabled() && capacity > 0) {
+      slot_epoch_ = std::make_unique<std::atomic<std::uint64_t>[]>(capacity);
+      for (std::size_t i = 0; i < capacity; ++i) {
+        slot_epoch_[i].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
 
-  /// Concurrent push. Throws if the capacity is exceeded (a bug in the
-  /// caller's sizing, never expected at runtime).
-  void push(vid_t v) {
+  /// Concurrent push. On capacity overflow the item is dropped, a sticky
+  /// flag is set, and false is returned — never a throw, because push runs
+  /// inside parallel regions where an exception means std::terminate
+  /// (OpenMP) or a torn join (ThreadTeam). The overflow surfaces at
+  /// drain/clear and, through the process-wide counter, as
+  /// Measurement::error.
+  bool push(vid_t v) {
     const std::size_t idx = size_.fetch_add(1, std::memory_order_relaxed);
     if (idx >= items_.size()) {
-      throw std::length_error("Worklist capacity exceeded");
+      overflowed_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (slot_epoch_) {
+      // Two pushes landing in one slot within a parallel region means the
+      // cursor was corrupted (e.g. a stale non-atomic copy).
+      const std::uint64_t epoch = racecheck::cpu_region_epoch();
+      const std::uint64_t prev =
+          slot_epoch_[idx].exchange(epoch + 1, std::memory_order_relaxed);
+      if (prev == epoch + 1 && racecheck::cpu_in_worker()) {
+        racecheck::cpu_note_violation("Worklist slot double-write in region");
+      }
     }
     items_[idx] = v;
     worklist_detail::note_push();
+    return true;
   }
 
   /// Single-threaded push used by hosts to seed the first iteration.
-  void push_seed(vid_t v) { push(v); }
+  bool push_seed(vid_t v) { return push(v); }
+
+  /// True once any push was dropped; reset by clear().
+  [[nodiscard]] bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::size_t size() const {
     return std::min(size_.load(std::memory_order_relaxed), items_.size());
@@ -62,15 +104,38 @@ class Worklist {
   }
 
   /// Resets for the next iteration; the discarded entries were this
-  /// iteration's consumed items ("pops" in the counter vocabulary).
+  /// iteration's consumed items ("pops" in the counter vocabulary). This is
+  /// where a sticky overflow is accounted: the drain is the serial point
+  /// where the caller would otherwise consume a silently truncated list.
   void clear() {
+    if (racecheck::enabled() && racecheck::cpu_in_worker()) {
+      racecheck::cpu_note_violation(
+          "Worklist::clear inside a parallel region that may still push");
+    }
+    account_overflow();
     worklist_detail::note_drain(size());
     size_.store(0, std::memory_order_relaxed);
   }
 
+  ~Worklist() { account_overflow(); }
+
  private:
+  /// Folds a pending sticky overflow into the process-wide counter: the
+  /// number of dropped pushes is the cursor excess beyond capacity.
+  void account_overflow() {
+    if (!overflowed_.load(std::memory_order_relaxed)) return;
+    const std::size_t cursor = size_.load(std::memory_order_relaxed);
+    const std::uint64_t dropped =
+        cursor > items_.size() ? cursor - items_.size() : 1;
+    worklist_detail::overflow_counter().fetch_add(dropped,
+                                                  std::memory_order_relaxed);
+    overflowed_.store(false, std::memory_order_relaxed);
+  }
+
   std::vector<vid_t> items_;
   std::atomic<std::size_t> size_{0};
+  std::atomic<bool> overflowed_{false};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slot_epoch_;
 };
 
 }  // namespace indigo

@@ -35,6 +35,12 @@ RunResult pr_run(const Graph& g, const RunOptions& opts) {
   if constexpr (kDet || kPush) {
     rank_b = rank_a;
     nxt = dev.array(std::span<float>(rank_b));
+  } else {
+    // Pull + non-deterministic updates ranks in place: plain stores of
+    // fresh values that move non-monotonically between sweeps while
+    // neighbors plain-read them. That is this style's contract (paper
+    // Listing 5a applied to PR), so tell racecheck it is racy by design.
+    dev.declare_racy(rank_a.data(), rank_a.size() * sizeof(float));
   }
 
   std::vector<double> res_h(1, 0.0);

@@ -97,7 +97,8 @@ void WarpRecorder::flush(Device& dev) {
 }  // namespace detail
 
 Block::Block(Device& dev, std::uint32_t bdim, std::uint32_t gdim)
-    : dev_(dev), bdim_(bdim), gdim_(gdim), warp_size_(dev.spec().warp_size) {}
+    : dev_(dev), rc_(dev.racecheck_checker()), bdim_(bdim), gdim_(gdim),
+      warp_size_(dev.spec().warp_size) {}
 
 const DeviceSpec& Block::spec() const { return dev_.spec(); }
 
@@ -110,6 +111,7 @@ void Block::sync() {
   const std::uint32_t warps = (bdim_ + ws - 1) / ws;
   dev_.add_compute_cycles(spec().barrier_cycles * warps);
   dev_.add_barriers(1);
+  if (rc_ != nullptr) rc_->on_sync();
 }
 
 double Block::reduce_add(std::span<const double> per_thread_values) {
@@ -144,7 +146,15 @@ void Block::end_block() {
 }
 
 Device::Device(const DeviceSpec& spec)
-    : spec_(spec), hotspot_(4096, 0.0), hotspot_owner_(4096, 0) {}
+    : spec_(spec), hotspot_(4096, 0.0), hotspot_owner_(4096, 0) {
+  if (racecheck::enabled()) {
+    rc_ = std::make_unique<racecheck::VcudaChecker>();
+  }
+}
+
+Device::~Device() {
+  if (rc_) rc_->finalize();
+}
 
 void Device::note_atomic_chain(std::uint64_t hashed_addr, double cycles,
                                std::uint32_t owner) {
@@ -163,6 +173,7 @@ void Device::note_atomic_chain(std::uint64_t hashed_addr, double cycles,
 }
 
 void Device::begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim) {
+  if (rc_) rc_->on_launch_begin();
   stats_.reset();
   hotspot_.assign(hotspot_.size(), 0);
   hotspot_owner_.assign(hotspot_owner_.size(), 0);

@@ -26,9 +26,11 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "racecheck/racecheck.hpp"
 #include "vcuda/device_spec.hpp"
 
 namespace indigo::vcuda {
@@ -180,8 +182,9 @@ class WarpRecorder {
 class Thread {
  public:
   Thread(detail::WarpRecorder& rec, std::uint32_t tid, std::uint32_t bidx,
-         std::uint32_t bdim, std::uint32_t gdim, int warp_size)
-      : rec_(rec), tid_(tid), bidx_(bidx), bdim_(bdim), gdim_(gdim),
+         std::uint32_t bdim, std::uint32_t gdim, int warp_size,
+         racecheck::VcudaChecker* rc = nullptr)
+      : rec_(rec), rc_(rc), tid_(tid), bidx_(bidx), bdim_(bdim), gdim_(gdim),
         warp_size_(warp_size) {}
 
   [[nodiscard]] std::uint32_t thread_idx() const { return tid_; }
@@ -208,11 +211,30 @@ class Thread {
     rec_.record(b + index * elem_size, kind);
   }
 
+  // Racecheck hooks, called by DeviceArray with the TRUE element address
+  // (record() aligns the base down for coalescing; shadow state must not).
+  void race_read(const void* elem, bool atomic) {
+    if (rc_ != nullptr) rc_->read(elem, bidx_, tid_, atomic);
+  }
+  void race_write(const void* elem, bool atomic, int delta_sign) {
+    if (rc_ != nullptr) rc_->write(elem, bidx_, tid_, atomic, delta_sign);
+  }
+
  private:
   detail::WarpRecorder& rec_;
+  racecheck::VcudaChecker* rc_;
   std::uint32_t tid_, bidx_, bdim_, gdim_;
   int warp_size_;
 };
+
+namespace detail {
+/// Direction a write moves a value: -1 lowered, +1 raised, 0 unchanged.
+/// Fed to the racecheck monotonicity classifier before the store lands.
+template <typename T>
+int delta_sign(const T& oldv, const T& newv) {
+  return newv < oldv ? -1 : (oldv < newv ? 1 : 0);
+}
+}  // namespace detail
 
 /// A global-memory array. All element access goes through a Thread so the
 /// simulator can account for it. The simulator executes sequentially, so
@@ -230,27 +252,32 @@ class DeviceArray {
   // --- classic CUDA accesses (paper Listing 9a world) ---------------------
   T ld(Thread& t, std::size_t i) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Load);
+    t.race_read(&data_[i], false);
     return data_[i];
   }
   void st(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Store);
+    t.race_write(&data_[i], false, detail::delta_sign(data_[i], v));
     data_[i] = v;
   }
   T atomic_min(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
+    t.race_write(&data_[i], true, v < old ? -1 : 0);
     if (v < old) data_[i] = v;
     return old;
   }
   T atomic_max(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
+    t.race_write(&data_[i], true, old < v ? 1 : 0);
     if (v > old) data_[i] = v;
     return old;
   }
   T atomic_add(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
+    t.race_write(&data_[i], true, detail::delta_sign(old, static_cast<T>(old + v)));
     data_[i] = old + v;
     return old;
   }
@@ -258,6 +285,8 @@ class DeviceArray {
   T atomic_cas(Thread& t, std::size_t i, T expected, T desired) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
+    t.race_write(&data_[i], true,
+                 old == expected ? detail::delta_sign(old, desired) : 0);
     if (old == expected) data_[i] = desired;
     return old;
   }
@@ -265,27 +294,32 @@ class DeviceArray {
   // --- cuda::atomic with default settings (paper Listing 9b world) --------
   T ald(Thread& t, std::size_t i) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
+    t.race_read(&data_[i], true);
     return data_[i];
   }
   void ast(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
+    t.race_write(&data_[i], true, detail::delta_sign(data_[i], v));
     data_[i] = v;
   }
   T afetch_min(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
+    t.race_write(&data_[i], true, v < old ? -1 : 0);
     if (v < old) data_[i] = v;
     return old;
   }
   T afetch_max(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
+    t.race_write(&data_[i], true, old < v ? 1 : 0);
     if (v > old) data_[i] = v;
     return old;
   }
   T afetch_add(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
+    t.race_write(&data_[i], true, detail::delta_sign(old, static_cast<T>(old + v)));
     data_[i] = old + v;
     return old;
   }
@@ -328,7 +362,7 @@ class Block {
       for (std::uint32_t j = 0; j < count; ++j) {
         const std::uint32_t tid = lo + li;
         rec_.set_lane(static_cast<int>(tid % ws));
-        Thread t(rec_, tid, bidx_, bdim_, gdim_, warp_size_);
+        Thread t(rec_, tid, bidx_, bdim_, gdim_, warp_size_, rc_);
         fn(t);
         li += lstep;
         if (li >= count) li -= count;
@@ -378,6 +412,7 @@ class Block {
 
   Device& dev_;
   detail::WarpRecorder rec_;
+  racecheck::VcudaChecker* rc_ = nullptr;
   std::uint32_t bidx_ = 0, bdim_, gdim_;
   int warp_size_;
   double block_serial_cycles_ = 0;
@@ -389,6 +424,10 @@ class Block {
 class Device {
  public:
   explicit Device(const DeviceSpec& spec);
+  ~Device();  // folds the racecheck tallies into the global report
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
 
@@ -439,6 +478,21 @@ class Device {
   /// Stats of the most recent launch (for tests and model inspection).
   [[nodiscard]] const LaunchStats& last_stats() const { return last_stats_; }
 
+  /// The racecheck shadow-state checker, or nullptr when racecheck was
+  /// disabled at Device construction.
+  [[nodiscard]] racecheck::VcudaChecker* racecheck_checker() const {
+    return rc_.get();
+  }
+  /// Copy of this device's racecheck findings so far (empty when disabled).
+  [[nodiscard]] racecheck::Report racecheck_report() const {
+    return rc_ ? rc_->report() : racecheck::Report{};
+  }
+  /// Marks [base, base+bytes) racy-by-design for the benign-race taxonomy
+  /// (e.g. pull-style non-deterministic PR's in-place rank stores).
+  void declare_racy(const void* base, std::size_t bytes) {
+    if (rc_) rc_->declare_racy(base, bytes);
+  }
+
   // internal: accounting sinks used by WarpRecorder / Block
   void add_compute_cycles(double c) { stats_.compute_cycles += c; }
   void add_fence_cycles(double c) { stats_.fence_cycles += c; }
@@ -459,6 +513,7 @@ class Device {
   void finalize_launch();
 
   DeviceSpec spec_;
+  std::unique_ptr<racecheck::VcudaChecker> rc_;
   LaunchStats stats_;
   LaunchStats last_stats_;
   std::vector<double> hotspot_;  // same-address atomic chains, hashed

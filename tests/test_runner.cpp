@@ -1,6 +1,9 @@
 // Tests for the Verifier, measure(), and the Registry plumbing.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
 #include "algorithms/serial/serial.hpp"
 #include "core/registry.hpp"
 #include "core/runner.hpp"
@@ -77,6 +80,51 @@ TEST(Measure, ProducesVerifiedThroughput) {
   EXPECT_NEAR(m.throughput_ges,
               static_cast<double>(g.num_edges()) / m.seconds / 1e9, 1e-9);
   EXPECT_EQ(m.graph, g.name());
+}
+
+TEST(Measure, EvenRepsMedianIsMidpointOfCentralPair) {
+  // Regression: times[size/2] picks the UPPER central element for even rep
+  // counts; with reps=2 alternating 1s/3s runs that reported 3.0, not 2.0.
+  const Graph g = make_grid2d(4);
+  Verifier ver(g, 0);
+  Variant v;
+  v.model = Model::Cuda;  // the Cuda path takes seconds from the RunResult
+  v.algo = Algorithm::CC;
+  v.name = "fake-cc-timed";
+  auto calls = std::make_shared<int>(0);
+  v.run = [calls](const Graph& gr, const RunOptions&) {
+    RunResult r;
+    r.output.labels = serial::cc(gr);
+    r.seconds = (++*calls % 2 == 1) ? 1.0 : 3.0;
+    r.iterations = 1;
+    return r;
+  };
+  RunOptions opts;
+  const Measurement even = measure(v, g, opts, 2, ver);
+  EXPECT_TRUE(even.verified) << even.error;
+  EXPECT_DOUBLE_EQ(even.seconds, 2.0);
+  *calls = 0;
+  const Measurement odd = measure(v, g, opts, 3, ver);
+  EXPECT_DOUBLE_EQ(odd.seconds, 1.0);  // sorted {1,1,3}: true middle
+}
+
+TEST(Verifier, PrToleranceScalesWithRankAndVertexCount) {
+  // The PR bound is tol(v) = 2e-3*|expected| + 1e-2/n. At small n the
+  // absolute term dominates; deviations inside it pass, beyond it fail.
+  const Graph g = make_grid2d(2);  // 4 vertices
+  const auto n = static_cast<double>(g.num_vertices());
+  ASSERT_EQ(n, 4.0);
+  Verifier ver(g, 0);
+  const std::vector<float> exact = serial::pagerank(g);
+  auto perturbed = [&](double factor) {
+    AlgoOutput out;
+    out.ranks = exact;
+    const double tol = 2e-3 * std::abs(exact[0]) + 1e-2 / n;
+    out.ranks[0] += static_cast<float>(factor * tol);
+    return out;
+  };
+  EXPECT_EQ(ver.check(Algorithm::PR, perturbed(0.9)), "");
+  EXPECT_NE(ver.check(Algorithm::PR, perturbed(1.5)), "");
 }
 
 TEST(Registry, SelectFiltersByModelAndAlgorithm) {

@@ -98,6 +98,23 @@ TEST(RenderBoxen, HandlesEmptyData) {
   EXPECT_EQ(render_boxen(samples), "(no data)\n");
 }
 
+TEST(RenderBoxen, OmitsNonpositiveSamplesWithAnnotation) {
+  // Regression: nonpositive values used to be clamped to 1e-12 and plotted
+  // as real observations, stretching the log axis down 12 decades.
+  std::vector<NamedSample> samples;
+  samples.push_back({"x", {1.0, 10.0, 0.0, -3.0}});
+  const std::string out = render_boxen(samples);
+  EXPECT_NE(out.find("(2 nonpositive omitted)"), std::string::npos);
+  EXPECT_EQ(out.find("1e-12"), std::string::npos);  // axis spans 1e0..1e1
+  EXPECT_NE(out.find("1e0"), std::string::npos);
+}
+
+TEST(RenderBoxen, AllNonpositiveMeansNoData) {
+  std::vector<NamedSample> samples;
+  samples.push_back({"x", {0.0, -1.0}});
+  EXPECT_EQ(render_boxen(samples), "(no data)  (2 nonpositive omitted)\n");
+}
+
 TEST(RenderSummaryTable, ContainsAllColumns) {
   std::vector<NamedSample> samples;
   samples.push_back({"a", {1, 2, 3, 4, 5}});
