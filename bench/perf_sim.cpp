@@ -1,0 +1,339 @@
+// Interpreter-throughput microbenchmark for the vcuda simulator.
+//
+// The whole-study wall clock is bound by how fast the single-threaded
+// interpreter can push simulated accesses through WarpRecorder::record /
+// flush (BENCH_sweep.json: scheduling 3470 model-timed jobs across workers
+// bought 0.985x on one core — the hot path IS the study's scaling axis).
+// This binary times that hot path in isolation: six kernels spanning the
+// paper's style axes (push/pull x vertex/edge BFS + PR, plus a worklist-tail
+// hotspot) run for a fixed number of sweeps over an R-MAT input, and the
+// report is wall-clock interpreter throughput — simulated accesses/sec and
+// simulated edges/sec — written to BENCH_sim.json.
+//
+// Flags:
+//   --scale=N        log2 vertex count of the R-MAT input (default 14)
+//   --reps=N         sweeps per kernel (default 6)
+//   --json=PATH      output path (default BENCH_sim.json)
+//   --baseline=PATH  compare aggregate accesses/sec against a previous
+//                    BENCH_sim.json; exit 1 if it regressed more than
+//   --tolerance=X    the soft threshold (default 0.30, i.e. -30%)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generate.hpp"
+#include "obs/counters.hpp"
+#include "racecheck/racecheck.hpp"
+#include "vcuda/device_spec.hpp"
+#include "vcuda/sim.hpp"
+
+namespace {
+
+using namespace indigo;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kBD = 256;
+
+struct KernelResult {
+  std::string name;
+  double wall_s = 0;
+  std::uint64_t launches = 0;
+  std::uint64_t accesses = 0;       // lane-level simulated accesses issued
+  std::uint64_t sim_edges = 0;      // edge relaxations simulated
+  double ns_per_access = 0;
+  double sim_edges_per_s = 0;
+};
+
+std::uint32_t grid_for(std::uint64_t items) {
+  return static_cast<std::uint32_t>((items + kBD - 1) / kBD);
+}
+
+/// Times `reps` launches of `kernel(dev)`; every launch must issue
+/// `accesses_per_launch` lane-level accesses over `edges_per_launch` edges.
+template <typename K>
+KernelResult time_kernel(const std::string& name, const vcuda::DeviceSpec& spec,
+                         int reps, std::uint64_t accesses_per_launch,
+                         std::uint64_t edges_per_launch, K&& kernel) {
+  vcuda::Device dev(spec);
+  kernel(dev);  // warm-up: page in buffers, size the recorder arena
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) kernel(dev);
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  KernelResult res;
+  res.name = name;
+  res.wall_s = wall;
+  res.launches = static_cast<std::uint64_t>(reps);
+  res.accesses = accesses_per_launch * static_cast<std::uint64_t>(reps);
+  res.sim_edges = edges_per_launch * static_cast<std::uint64_t>(reps);
+  res.ns_per_access =
+      res.accesses > 0 ? wall * 1e9 / static_cast<double>(res.accesses) : 0;
+  res.sim_edges_per_s =
+      wall > 0 ? static_cast<double>(res.sim_edges) / wall : 0;
+  return res;
+}
+
+double read_baseline_accesses_per_s(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return -1;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::string key = "\"accesses_per_s\":";
+  const std::size_t pos = text.rfind(key);
+  if (pos == std::string::npos) return -1;
+  return std::atof(text.c_str() + pos + key.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned scale = 14;
+  int reps = 6;
+  std::string json_path = "BENCH_sim.json";
+  std::string baseline_path;
+  double tolerance = 0.30;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string val =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    if (key == "--scale") {
+      scale = static_cast<unsigned>(std::atoi(val.c_str()));
+    } else if (key == "--reps") {
+      reps = std::max(1, std::atoi(val.c_str()));
+    } else if (key == "--json") {
+      json_path = val;
+    } else if (key == "--baseline") {
+      baseline_path = val;
+    } else if (key == "--tolerance") {
+      tolerance = std::atof(val.c_str());
+    } else {
+      std::cerr << "usage: perf_sim [--scale=N] [--reps=N] [--json=PATH] "
+                   "[--baseline=PATH] [--tolerance=X]\n";
+      return 2;
+    }
+  }
+  if (obs::enabled() || racecheck::enabled()) {
+    std::cerr << "[perf_sim] warning: obs/racecheck enabled; numbers will "
+                 "not reflect the default timing configuration\n";
+  }
+
+  const Graph g = make_rmat(scale);
+  const vid_t n = g.num_vertices();
+  const eid_t e = g.num_edges();
+  const vcuda::DeviceSpec spec = vcuda::rtx3090_like();
+  std::cout << "[perf_sim] " << g.name() << ": " << n << " vertices, " << e
+            << " arcs, " << reps << " sweeps per kernel\n";
+
+  // Host-side state the kernels touch. The relaxations run to convergence
+  // quickly, but atomic_min/ld record the same accesses whether or not the
+  // value moves, so every sweep is an identical interpreter workload.
+  std::vector<std::uint32_t> dist(n, 0xffffffffu);
+  std::vector<float> rank(n, 1.0f / static_cast<float>(n));
+  std::vector<float> contrib(n, 0.0f);
+  std::vector<std::uint32_t> wl_tail(1, 0);
+  dist[0] = 0;
+
+  // The graph arrays as device spans (const_cast mirrors what the real
+  // variants do: DeviceArray needs a mutable span; topology is never
+  // stored to).
+  auto row_span = std::span<eid_t>(const_cast<eid_t*>(g.row_index().data()),
+                                   g.row_index().size());
+  auto col_span = std::span<vid_t>(const_cast<vid_t*>(g.col_index().data()),
+                                   g.col_index().size());
+  auto src_span = std::span<vid_t>(const_cast<vid_t*>(g.src_list().data()),
+                                   g.src_list().size());
+
+  std::vector<KernelResult> results;
+
+  // --- BFS push, vertex granularity: ld row[2] + per edge ld col +
+  // atomic_min(dist) — the Listing 2a shape.
+  results.push_back(time_kernel(
+      "bfs_push_vertex", spec, reps,
+      /*accesses=*/static_cast<std::uint64_t>(n) * 3 +
+          static_cast<std::uint64_t>(e) * 2,
+      /*edges=*/e, [&](vcuda::Device& dev) {
+        auto row = dev.array(row_span);
+        auto col = dev.array(col_span);
+        auto d = dev.array(std::span<std::uint32_t>(dist));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            const std::uint32_t v = t.gidx();
+            if (v >= n) return;
+            const std::uint32_t dv = d.ld(t, v);
+            const eid_t lo = row.ld(t, v), hi = row.ld(t, v + 1);
+            for (eid_t i = lo; i < hi; ++i) {
+              const vid_t u = col.ld(t, i);
+              d.atomic_min(t, u, dv + 1);
+            }
+          });
+        });
+      }));
+
+  // --- BFS pull, vertex granularity: per edge ld col + ld dist, then one
+  // plain store — all-load coalescing traffic (Listing 3a shape).
+  results.push_back(time_kernel(
+      "bfs_pull_vertex", spec, reps,
+      static_cast<std::uint64_t>(n) * 4 + static_cast<std::uint64_t>(e) * 2,
+      e, [&](vcuda::Device& dev) {
+        auto row = dev.array(row_span);
+        auto col = dev.array(col_span);
+        auto d = dev.array(std::span<std::uint32_t>(dist));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            const std::uint32_t v = t.gidx();
+            if (v >= n) return;
+            std::uint32_t best = d.ld(t, v);
+            const eid_t lo = row.ld(t, v), hi = row.ld(t, v + 1);
+            for (eid_t i = lo; i < hi; ++i) {
+              const vid_t u = col.ld(t, i);
+              const std::uint32_t du = d.ld(t, u);
+              if (du != 0xffffffffu && du + 1 < best) best = du + 1;
+            }
+            d.st(t, v, best);
+          });
+        });
+      }));
+
+  // --- BFS push, edge granularity: coalesced COO loads + scattered
+  // atomic_min (Listing 2b shape).
+  results.push_back(time_kernel(
+      "bfs_push_edge", spec, reps, static_cast<std::uint64_t>(e) * 4, e,
+      [&](vcuda::Device& dev) {
+        auto src = dev.array(src_span);
+        auto dst = dev.array(col_span);
+        auto d = dev.array(std::span<std::uint32_t>(dist));
+        dev.launch(grid_for(e), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            const std::uint32_t i = t.gidx();
+            if (i >= e) return;
+            const vid_t s = src.ld(t, i);
+            const vid_t u = dst.ld(t, i);
+            const std::uint32_t ds = d.ld(t, s);
+            if (ds != 0xffffffffu) d.atomic_min(t, u, ds + 1);
+          });
+        });
+      }));
+
+  // --- PR pull, vertex granularity: gather contributions, plain store.
+  results.push_back(time_kernel(
+      "pr_pull_vertex", spec, reps,
+      static_cast<std::uint64_t>(n) * 3 + static_cast<std::uint64_t>(e) * 2,
+      e, [&](vcuda::Device& dev) {
+        auto row = dev.array(row_span);
+        auto col = dev.array(col_span);
+        auto r = dev.array(std::span<float>(rank));
+        auto c = dev.array(std::span<float>(contrib));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            const std::uint32_t v = t.gidx();
+            if (v >= n) return;
+            float sum = 0;
+            const eid_t lo = row.ld(t, v), hi = row.ld(t, v + 1);
+            for (eid_t i = lo; i < hi; ++i) {
+              const vid_t u = col.ld(t, i);
+              sum += c.ld(t, u);
+            }
+            r.st(t, v, 0.15f / static_cast<float>(n) + 0.85f * sum);
+          });
+        });
+      }));
+
+  // --- PR push, edge granularity: coalesced COO loads + scattered
+  // atomic_add into ranks (the contended RMW style).
+  results.push_back(time_kernel(
+      "pr_push_edge", spec, reps, static_cast<std::uint64_t>(e) * 4, e,
+      [&](vcuda::Device& dev) {
+        auto src = dev.array(src_span);
+        auto dst = dev.array(col_span);
+        auto r = dev.array(std::span<float>(rank));
+        auto c = dev.array(std::span<float>(contrib));
+        dev.launch(grid_for(e), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            const std::uint32_t i = t.gidx();
+            if (i >= e) return;
+            const vid_t s = src.ld(t, i);
+            const vid_t u = dst.ld(t, i);
+            r.atomic_add(t, u, c.ld(t, s));
+          });
+        });
+      }));
+
+  // --- Worklist-tail hotspot: every thread bumps one shared cursor — the
+  // maximally serialized same-address chain (note_atomic_chain's worst
+  // case, one unit per warp after aggregation).
+  results.push_back(time_kernel(
+      "wl_tail_hotspot", spec, reps, static_cast<std::uint64_t>(n), n,
+      [&](vcuda::Device& dev) {
+        auto tail = dev.array(std::span<std::uint32_t>(wl_tail));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            if (t.gidx() >= n) return;
+            tail.atomic_add(t, 0, 1u);
+          });
+        });
+      }));
+
+  double total_wall = 0;
+  std::uint64_t total_accesses = 0, total_edges = 0;
+  for (const KernelResult& kr : results) {
+    total_wall += kr.wall_s;
+    total_accesses += kr.accesses;
+    total_edges += kr.sim_edges;
+    std::printf("[perf_sim] %-16s %8.3fs  %7.1f ns/access  %8.2f Msimedges/s\n",
+                kr.name.c_str(), kr.wall_s, kr.ns_per_access,
+                kr.sim_edges_per_s / 1e6);
+  }
+  const double agg_aps =
+      total_wall > 0 ? static_cast<double>(total_accesses) / total_wall : 0;
+  const double agg_eps =
+      total_wall > 0 ? static_cast<double>(total_edges) / total_wall : 0;
+  std::printf(
+      "[perf_sim] aggregate: %.3fs wall, %.2f Maccesses/s, %.2f Msimedges/s\n",
+      total_wall, agg_aps / 1e6, agg_eps / 1e6);
+
+  std::ofstream json(json_path);
+  json.precision(6);
+  json << "{\n  \"graph\": \"" << g.name() << "\",\n  \"vertices\": " << n
+       << ",\n  \"arcs\": " << e << ",\n  \"reps\": " << reps
+       << ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& kr = results[i];
+    json << "    {\"name\": \"" << kr.name << "\", \"wall_s\": " << kr.wall_s
+         << ", \"accesses\": " << kr.accesses
+         << ", \"ns_per_access\": " << kr.ns_per_access
+         << ", \"sim_edges_per_s\": " << kr.sim_edges_per_s << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"aggregate\": {\"wall_s\": " << total_wall
+       << ", \"accesses_per_s\": " << agg_aps
+       << ", \"sim_edges_per_s\": " << agg_eps << "}\n}\n";
+  std::cout << "[perf_sim] wrote " << json_path << '\n';
+
+  if (!baseline_path.empty()) {
+    const double base = read_baseline_accesses_per_s(baseline_path);
+    if (base <= 0) {
+      std::cerr << "[perf_sim] could not read baseline " << baseline_path
+                << '\n';
+      return 1;
+    }
+    const double ratio = agg_aps / base;
+    std::printf("[perf_sim] vs baseline: %.2fx (%.2f -> %.2f Maccesses/s, "
+                "tolerance -%.0f%%)\n",
+                ratio, base / 1e6, agg_aps / 1e6, tolerance * 100);
+    if (ratio < 1.0 - tolerance) {
+      std::cerr << "[perf_sim] FAIL: throughput regressed beyond tolerance\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -123,7 +123,7 @@ SweepOutcome run_dag(bench::Harness& h, std::optional<Model> model,
     j.work = [&h, &cells, &slots, &hits, c, reps](const sched::JobContext&) {
       const Cell& cc = cells[c];
       const Graph& g = h.graph(cc.graph);
-      if (h.cached(*cc.v, g, nullptr)) {
+      if (h.cached(*cc.v, g, nullptr, reps)) {
         hits.fetch_add(1, std::memory_order_relaxed);
       }
       slots[c] = h.measure_one(*cc.v, g, nullptr, reps);

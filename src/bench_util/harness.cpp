@@ -25,7 +25,7 @@ std::string scale_tag() {
 }
 
 std::string make_key(const std::string& program, const std::string& graph,
-                     const std::string& device, int threads) {
+                     const std::string& device, int threads, int reps) {
   std::ostringstream os;
   os << program << '|' << graph << '|' << device << '|' << threads << '|'
      << scale_tag();
@@ -34,6 +34,10 @@ std::string make_key(const std::string& program, const std::string& graph,
   if (obs::enabled()) os << "|obs";
   // Same reasoning for racecheck.* audit payloads.
   if (racecheck::enabled()) os << "|rc";
+  // Multi-rep entries (median of N, per-rep metric averages) are distinct
+  // from single-shot ones. reps==1 keeps the historical key shape so
+  // existing journals stay valid.
+  if (reps > 1) os << "|r" << reps;
   return os.str();
 }
 
@@ -101,13 +105,14 @@ const std::vector<Graph>& Harness::graphs() {
 }
 
 std::string Harness::key_for(const Variant& v, const Graph& g,
-                             const vcuda::DeviceSpec* device) const {
-  return make_key(v.name, g.name(), device_name_of(v, device), cpu_threads());
+                             const vcuda::DeviceSpec* device, int reps) const {
+  return make_key(v.name, g.name(), device_name_of(v, device), cpu_threads(),
+                  reps);
 }
 
 bool Harness::cached(const Variant& v, const Graph& g,
-                     const vcuda::DeviceSpec* device) const {
-  return store_->find(key_for(v, g, device)).has_value();
+                     const vcuda::DeviceSpec* device, int reps) const {
+  return store_->find(key_for(v, g, device, reps)).has_value();
 }
 
 Verifier& Harness::verifier_for(const Graph& g) {
@@ -157,7 +162,8 @@ void export_measurement(const Measurement& m, const std::string& dev_name,
 Measurement Harness::measure_one(const Variant& v, const Graph& g,
                                  const vcuda::DeviceSpec* device, int reps) {
   const std::string dev_name = device_name_of(v, device);
-  const std::string key = make_key(v.name, g.name(), dev_name, cpu_threads());
+  const std::string key =
+      make_key(v.name, g.name(), dev_name, cpu_threads(), reps);
   if (const auto e = store_->find(key)) {
     Measurement m;
     m.program = v.name;
@@ -226,7 +232,7 @@ std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
     // (tests/test_sched.cpp) and as the --bench baseline.
     std::size_t done = 0;
     for (const Pair& p : pairs) {
-      if (store_->find(key_for(*p.v, *p.g, opts.device))) {
+      if (store_->find(key_for(*p.v, *p.g, opts.device, opts.reps))) {
         ++stats.cache_hits;
       } else {
         ++stats.executed;
@@ -248,7 +254,7 @@ std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
     const double timeout_s = env_timeout_s();
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       const Pair& p = pairs[i];
-      if (store_->find(key_for(*p.v, *p.g, opts.device))) {
+      if (store_->find(key_for(*p.v, *p.g, opts.device, opts.reps))) {
         ++stats.cache_hits;
         continue;
       }

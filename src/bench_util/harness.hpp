@@ -91,9 +91,11 @@ class Harness {
   Measurement measure_one(const Variant& v, const Graph& g,
                           const vcuda::DeviceSpec* device, int reps);
 
-  /// Whether measure_one would be served from the journal.
+  /// Whether measure_one would be served from the journal (for the same
+  /// rep count — multi-rep entries carry their own journal keys).
   [[nodiscard]] bool cached(const Variant& v, const Graph& g,
-                            const vcuda::DeviceSpec* device) const;
+                            const vcuda::DeviceSpec* device,
+                            int reps = 1) const;
 
   /// Outcome counts of the most recent sweep().
   [[nodiscard]] const SweepStats& last_sweep_stats() const { return stats_; }
@@ -106,7 +108,7 @@ class Harness {
 
  private:
   std::string key_for(const Variant& v, const Graph& g,
-                      const vcuda::DeviceSpec* device) const;
+                      const vcuda::DeviceSpec* device, int reps) const;
   Verifier& verifier_for(const Graph& g);
 
   std::vector<Graph> graphs_;

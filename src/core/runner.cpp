@@ -142,16 +142,26 @@ Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
 
   std::vector<double> times;
   RunResult last;
-  for (int r = 0; r < std::max(1, reps); ++r) {
+  const int want = std::max(1, reps);
+  int ran = 0;
+  for (int r = 0; r < want; ++r) {
     if (v.model == Model::Cuda) {
       // Simulated time: the variant reports it directly.
       last = v.run(g, opts);
       times.push_back(last.seconds);
+      ++ran;
+      if (opts.dedup_model_reps) {
+        // The model is deterministic: further reps would re-simulate
+        // identical work. Replicate the sample instead (median unchanged).
+        times.resize(static_cast<std::size_t>(want), last.seconds);
+        break;
+      }
     } else {
       const auto t0 = std::chrono::steady_clock::now();
       last = v.run(g, opts);
       const auto t1 = std::chrono::steady_clock::now();
       times.push_back(std::chrono::duration<double>(t1 - t0).count());
+      ++ran;
     }
   }
   std::sort(times.begin(), times.end());
@@ -161,7 +171,9 @@ Measurement measure(const Variant& v, const Graph& g, const RunOptions& opts,
   m.seconds = times.size() % 2 == 1 ? times[mid]
                                     : 0.5 * (times[mid - 1] + times[mid]);
   m.iterations = last.iterations;
-  const double denom = std::max(1, reps);
+  // Metrics accumulate per executed run, so average over runs that actually
+  // happened (== reps unless model reps were deduplicated).
+  const double denom = std::max(1, ran);
   if (observe) {
     m.metrics = obs::CounterRegistry::delta(
         before, obs::CounterRegistry::instance().snapshot());

@@ -43,6 +43,12 @@ struct RunOptions {
   /// racecheck.* entries. Off by default — checking perturbs nothing when
   /// off and only vcuda's simulated time stays exact when on.
   bool racecheck = false;
+  /// ModelTimed rep deduplication: a vcuda run is deterministic, so reps
+  /// beyond the first would re-simulate identical work. When set, measure()
+  /// simulates once and replicates the sample across the requested reps
+  /// (per-rep metric averages use the real run count). WallClock (CPU)
+  /// models always execute every rep — only modeled time is dedupable.
+  bool dedup_model_reps = true;
 };
 
 /// What one variant execution produced.

@@ -105,8 +105,18 @@ int Executor::resolve_workers(int requested) {
     const int v = std::atoi(env);
     if (v > 0) return std::min(v, 256);
   }
+  // Default: one worker per hardware thread, capped at 8. Oversubscribing a
+  // small box only adds context-switch overhead to the CPU-bound ModelTimed
+  // jobs (a 1-core host with the old floor of 2 measured 0.985x, i.e. a
+  // slowdown, in BENCH_sweep.json).
   const unsigned hw = std::thread::hardware_concurrency();
-  return std::max(2, static_cast<int>(std::min(hw, 8u)));
+  const int fit = std::max(1, static_cast<int>(std::min(hw, 8u)));
+  if (hw != 0 && hw < 8u && obs::enabled()) {
+    static obs::Counter& clamped =
+        obs::CounterRegistry::instance().counter("sched.workers_clamped");
+    clamped.add(1);
+  }
+  return fit;
 }
 
 std::vector<JobStatus> Executor::run(const JobGraph& graph) {

@@ -1,6 +1,7 @@
 #include "vcuda/sim.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 
@@ -8,6 +9,20 @@
 #include "obs/trace.hpp"
 
 namespace indigo::vcuda {
+
+namespace {
+
+std::atomic<bool> g_reference_model{false};
+
+}  // namespace
+
+bool reference_model() {
+  return g_reference_model.load(std::memory_order_relaxed);
+}
+
+void set_reference_model(bool on) {
+  g_reference_model.store(on, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -21,7 +36,73 @@ std::uint64_t mix_addr(std::uint64_t x) {
 
 }  // namespace
 
+void WarpRecorder::bind_spec(const DeviceSpec& spec) {
+  spec_ = &spec;
+  const auto ws = static_cast<std::size_t>(spec.warp_size);
+  assert(ws >= 1 && ws <= lane_cycles_.size());
+  if (ws != stride_) {
+    // Arena layout is keyed to the warp size; a spec with a different one
+    // forces a re-layout (never on the hot path: one spec per Device).
+    stride_ = ws;
+    group_cap_ = 0;
+    addrs_.clear();
+    group_info_.clear();
+  }
+  line_shift_ = 63 - std::countl_zero(
+                         static_cast<std::uint64_t>(spec.mem_transaction_bytes));
+  // Exactly the per-kind sums the charging switch used to apply, computed
+  // once so record() is branch-free on the kind.
+  const auto at = [](AccessKind k) { return static_cast<std::size_t>(k); };
+  lane_charge_[at(AccessKind::Load)] = spec.cycles_per_mem_instr;
+  lane_charge_[at(AccessKind::Store)] = spec.cycles_per_mem_instr;
+  lane_charge_[at(AccessKind::Atomic)] =
+      spec.cycles_per_mem_instr + spec.global_atomic_cycles;
+  lane_charge_[at(AccessKind::CudaAtomicLdSt)] = spec.cycles_per_mem_instr;
+  lane_charge_[at(AccessKind::CudaAtomicRmw)] = spec.cycles_per_mem_instr;
+  fence_charge_[at(AccessKind::Load)] = 0.0;
+  fence_charge_[at(AccessKind::Store)] = 0.0;
+  fence_charge_[at(AccessKind::Atomic)] = 0.0;
+  // The seq_cst fence stalls the SM's memory pipeline; it cannot be hidden
+  // behind other warps, so it lands in a separate pool.
+  fence_charge_[at(AccessKind::CudaAtomicLdSt)] = spec.cudaatomic_ldst_cycles;
+  fence_charge_[at(AccessKind::CudaAtomicRmw)] =
+      spec.global_atomic_cycles * spec.cudaatomic_rmw_mult;
+}
+
+int WarpRecorder::dedup_into(const std::uint64_t* vals, int n,
+                             std::uint64_t* out) {
+  const std::uint64_t gen = ++stamp_counter_;
+  int d = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = vals[i];
+    // Fibonacci hash to a byte: spreads both consecutive lines and sparse
+    // scatters; collisions resolve by linear probing (load factor <= 1/4).
+    std::size_t s =
+        static_cast<std::size_t>((v * 0x9E3779B97F4A7C15ull) >> 56);
+    while (stamp_gen_[s] == gen && stamp_key_[s] != v) {
+      s = (s + 1) & (kStampSlots - 1);
+    }
+    if (stamp_gen_[s] != gen) {
+      stamp_gen_[s] = gen;
+      stamp_key_[s] = v;
+      out[d++] = v;
+    }
+  }
+  return d;
+}
+
+void WarpRecorder::grow(std::size_t need) {
+  std::size_t cap = group_cap_ == 0 ? 64 : group_cap_ * 2;
+  if (cap < need) cap = need;
+  // Group-major layout: growing appends whole groups, so existing offsets
+  // stay valid and the arena is reused across regions without clearing.
+  addrs_.resize(cap * stride_);
+  group_info_.resize(cap, 0);
+  group_cap_ = cap;
+}
+
 void WarpRecorder::flush(Device& dev) {
+  if (op_index_ > used_groups_) used_groups_ = op_index_;  // last lane's ops
   if (active_lanes_ == 0) return;
   const DeviceSpec& spec = *spec_;
 
@@ -44,52 +125,109 @@ void WarpRecorder::flush(Device& dev) {
   // form one SIMT memory instruction; they cost as many 128-byte
   // transactions as distinct segments they touch. A fully diverged warp
   // issues up to 32 transactions for 32 values (the paper's motivation for
-  // cyclic/coalesced GPU access, Section 2.12).
-  std::uint64_t lines[64];
-  const int line_shift =
-      63 - std::countl_zero(static_cast<std::uint64_t>(
-               spec.mem_transaction_bytes));
-  for (std::size_t gi = 0; gi < used_groups_; ++gi) {
-    auto& group = groups_[gi];
-    if (group.empty()) continue;
-    int n_lines = 0;
-    for (const Access& a : group) {
-      if (a.kind == AccessKind::Atomic || a.kind == AccessKind::CudaAtomicRmw) {
-        continue;  // handled below
-      }
-      lines[n_lines++] = a.addr >> line_shift;
-    }
-    if (n_lines > 0) {
-      std::sort(lines, lines + n_lines);
-      dev.add_mem_instructions(1);
-      dev.add_transactions(static_cast<std::uint64_t>(
-          std::unique(lines, lines + n_lines) - lines));
-    }
-    // Atomics: nvcc and the hardware aggregate same-address atomics within
-    // a warp, so distinct addresses in this group each contribute one unit
-    // to their address's serialization chain.
+  // cyclic/coalesced GPU access, Section 2.12). record() already stored
+  // mem accesses as line values at [0, n_mem) and chain-atomic addresses
+  // at [stride_ - n_atomic, stride_) of each group (see sim.hpp).
+
+  if (dev.reference_mode()) {
+    // Legacy algorithm (sort + unique per group), kept so the golden
+    // dual-path test can prove the fast path below is bit-identical.
+    std::uint64_t lines[64];
     std::uint64_t atomic_addrs[64];
-    int n_atomic = 0;
-    bool any_cudaatomic = false;
-    for (const Access& a : group) {
-      if (a.kind == AccessKind::Atomic ||
-          a.kind == AccessKind::CudaAtomicRmw) {
-        atomic_addrs[n_atomic++] = a.addr;
-        any_cudaatomic |= a.kind == AccessKind::CudaAtomicRmw;
+    for (std::size_t gi = 0; gi < used_groups_; ++gi) {
+      const std::uint16_t info = group_info_[gi];
+      const int n_lines = info & 0x7f;
+      const int n_atomic = (info >> 7) & 0x7f;
+      const std::uint64_t* ga = addrs_.data() + gi * stride_;
+      if (n_lines > 0) {
+        std::copy(ga, ga + n_lines, lines);
+        std::sort(lines, lines + n_lines);
+        dev.add_mem_instructions(1);
+        dev.add_transactions(static_cast<std::uint64_t>(
+            std::unique(lines, lines + n_lines) - lines));
+      }
+      // Atomics: nvcc and the hardware aggregate same-address atomics
+      // within a warp, so distinct addresses in this group each contribute
+      // one unit to their address's serialization chain.
+      if (n_atomic > 0) {
+        std::copy(ga + stride_ - n_atomic, ga + stride_, atomic_addrs);
+        std::sort(atomic_addrs, atomic_addrs + n_atomic);
+        const int distinct = static_cast<int>(
+            std::unique(atomic_addrs, atomic_addrs + n_atomic) -
+            atomic_addrs);
+        const double unit =
+            spec.same_address_atomic_cycles *
+            ((info & 0x8000) != 0 ? spec.cudaatomic_rmw_mult : 1.0);
+        for (int i = 0; i < distinct; ++i) {
+          dev.note_atomic_chain(mix_addr(atomic_addrs[i]), unit, owner_);
+        }
+        // Atomics also move data: one transaction per distinct address.
+        dev.add_transactions(static_cast<std::uint64_t>(distinct));
+      }
+    }
+    return;
+  }
+
+  // Fast path. Counting DISTINCT lines/addresses needs no sort:
+  //  - mem accesses spanning a <=64-line window (every coalesced or
+  //    constant-stride pattern) are counted with one 64-bit occupancy
+  //    bitmap and a popcount;
+  //  - wider scatters fall back to a stamp-table first-occurrence dedup
+  //    over at most warp_size entries;
+  //  - warp-uniform atomics (the aggregated common case) short-circuit to
+  //    a single chain unit.
+  // Distinct-counts are order-independent, and within one group every
+  // note_atomic_chain carries the same (unit, owner), so the accumulated
+  // doubles match the sorted reference bit-for-bit.
+  std::uint64_t distinct[64];
+  for (std::size_t gi = 0; gi < used_groups_; ++gi) {
+    const std::uint16_t info = group_info_[gi];
+    const int n_mem = info & 0x7f;
+    const int n_atomic = (info >> 7) & 0x7f;
+    const std::uint64_t* ga = addrs_.data() + gi * stride_;
+    if (n_mem > 0) {
+      dev.add_mem_instructions(1);
+      std::uint64_t line_min = ga[0];
+      std::uint64_t line_max = ga[0];
+      for (int i = 1; i < n_mem; ++i) {
+        line_min = std::min(line_min, ga[i]);
+        line_max = std::max(line_max, ga[i]);
+      }
+      const std::uint64_t width = line_max - line_min + 1;
+      if (width == 1) {
+        dev.add_transactions(1);  // fully coalesced
+      } else if (width <= 64) {
+        // Any coalesced or constant-stride pattern lands here: one 64-bit
+        // occupancy bitmap over the group's line window, then a popcount.
+        std::uint64_t occupied = 0;
+        for (int i = 0; i < n_mem; ++i) {
+          occupied |= std::uint64_t{1} << (ga[i] - line_min);
+        }
+        dev.add_transactions(
+            static_cast<std::uint64_t>(std::popcount(occupied)));
+      } else {
+        dev.add_transactions(
+            static_cast<std::uint64_t>(dedup_into(ga, n_mem, distinct)));
       }
     }
     if (n_atomic > 0) {
-      std::sort(atomic_addrs, atomic_addrs + n_atomic);
-      const int distinct = static_cast<int>(
-          std::unique(atomic_addrs, atomic_addrs + n_atomic) - atomic_addrs);
+      const std::uint64_t* aa = ga + stride_ - n_atomic;
       const double unit =
           spec.same_address_atomic_cycles *
-          (any_cudaatomic ? spec.cudaatomic_rmw_mult : 1.0);
-      for (int i = 0; i < distinct; ++i) {
-        dev.note_atomic_chain(mix_addr(atomic_addrs[i]), unit, owner_);
+          ((info & 0x8000) != 0 ? spec.cudaatomic_rmw_mult : 1.0);
+      bool a_uniform = true;
+      for (int i = 1; i < n_atomic; ++i) a_uniform &= aa[i] == aa[0];
+      if (a_uniform) {
+        // Warp-uniform (the aggregated common case): one chain unit.
+        dev.note_atomic_chain(mix_addr(aa[0]), unit, owner_);
+        dev.add_transactions(1);
+      } else {
+        const int d = dedup_into(aa, n_atomic, distinct);
+        for (int j = 0; j < d; ++j) {
+          dev.note_atomic_chain(mix_addr(distinct[j]), unit, owner_);
+        }
+        dev.add_transactions(static_cast<std::uint64_t>(d));
       }
-      // Atomics also move data: one transaction per distinct address line.
-      dev.add_transactions(static_cast<std::uint64_t>(distinct));
     }
   }
 }
@@ -98,13 +236,22 @@ void WarpRecorder::flush(Device& dev) {
 
 Block::Block(Device& dev, std::uint32_t bdim, std::uint32_t gdim)
     : dev_(dev), rc_(dev.racecheck_checker()), bdim_(bdim), gdim_(gdim),
-      warp_size_(dev.spec().warp_size) {}
+      warp_size_(dev.spec().warp_size) {
+  const auto ws = static_cast<std::uint32_t>(warp_size_);
+  const std::uint32_t warps = (bdim_ + ws - 1) / ws;
+  warp_step_ = detail::coprime_step(warps);
+  lane_step_full_ = detail::coprime_step(ws);
+  // Only the last warp can be partial; its lane count is fixed by bdim.
+  lane_step_tail_ = detail::coprime_step(bdim_ - (warps - 1) * ws);
+}
 
 const DeviceSpec& Block::spec() const { return dev_.spec(); }
 
 double Block::block_atomic_cycles() const {
   return dev_.spec().block_atomic_cycles;
 }
+
+void Block::note_block_atomic() { dev_.note_block_atomic(); }
 
 void Block::sync() {
   const auto ws = static_cast<std::uint32_t>(warp_size_);
@@ -146,7 +293,8 @@ void Block::end_block() {
 }
 
 Device::Device(const DeviceSpec& spec)
-    : spec_(spec), hotspot_(4096, 0.0), hotspot_owner_(4096, 0) {
+    : spec_(spec), hotspot_(4096, 0.0), hotspot_owner_(4096, 0),
+      hotspot_epoch_(4096, 0), ref_(reference_model()) {
   if (racecheck::enabled()) {
     rc_ = std::make_unique<racecheck::VcudaChecker>();
   }
@@ -159,24 +307,53 @@ Device::~Device() {
 void Device::note_atomic_chain(std::uint64_t hashed_addr, double cycles,
                                std::uint32_t owner) {
   const std::size_t slot = hashed_addr & (hotspot_.size() - 1);
-  hotspot_[slot] += cycles;
   ++stats_.atomic_ops;
   // A conflict is contention: a different warp hit this address earlier in
   // the launch. One warp re-touching its own address (e.g. a pull-style
   // thread relaxing its own vertex once per in-edge) serializes only with
   // itself and is not counted.
   const std::uint32_t tagged = owner + 1;  // 0 = never hit
-  if (hotspot_owner_[slot] != 0 && hotspot_owner_[slot] != tagged) {
-    ++stats_.atomic_conflicts;
+  if (ref_) {
+    hotspot_[slot] += cycles;
+    if (hotspot_owner_[slot] != 0 && hotspot_owner_[slot] != tagged) {
+      ++stats_.atomic_conflicts;
+    }
+    hotspot_owner_[slot] = tagged;
+    return;
+  }
+  // Epoch tagging: a slot whose epoch is stale was not touched this launch,
+  // so it logically holds (cycles 0, owner never-hit). 0 + cycles == cycles
+  // exactly, so lazily materializing the zero is bit-identical to the
+  // memset the reference path performs.
+  double chain;
+  if (hotspot_epoch_[slot] != launch_epoch_) {
+    hotspot_epoch_[slot] = launch_epoch_;
+    chain = cycles;
+  } else {
+    chain = hotspot_[slot] + cycles;
+    // A live slot was necessarily written by some warp this launch, so the
+    // legacy owner != 0 guard is implied.
+    if (hotspot_owner_[slot] != tagged) ++stats_.atomic_conflicts;
   }
   hotspot_owner_[slot] = tagged;
+  hotspot_[slot] = chain;
+  // Chains only grow within a launch, so a running max over the updates
+  // equals the reference path's final full-table scan bit-for-bit.
+  if (chain > hot_max_) hot_max_ = chain;
 }
 
 void Device::begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim) {
   if (rc_) rc_->on_launch_begin();
   stats_.reset();
-  hotspot_.assign(hotspot_.size(), 0);
-  hotspot_owner_.assign(hotspot_owner_.size(), 0);
+  if (ref_) {
+    hotspot_.assign(hotspot_.size(), 0);
+    hotspot_owner_.assign(hotspot_owner_.size(), 0);
+  } else {
+    // Bumping the epoch invalidates every slot at once; stale slots are
+    // reset lazily on first touch (note_atomic_chain).
+    ++launch_epoch_;
+    hot_max_ = 0;
+  }
   stats_.grid_dim = grid_dim;
   stats_.block_dim = block_dim;
   const auto resident = static_cast<double>(grid_dim) * block_dim;
@@ -186,8 +363,11 @@ void Device::begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim) {
 }
 
 void Device::finalize_launch() {
-  double hot = 0;
-  for (double h : hotspot_) hot = std::max(hot, h);
+  double hot = hot_max_;
+  if (ref_) {
+    hot = 0;
+    for (double h : hotspot_) hot = std::max(hot, h);
+  }
   stats_.hotspot_cycles_max = hot;
 
   const double hz = spec_.clock_ghz * 1e9;
@@ -216,6 +396,7 @@ void Device::finalize_launch() {
     static obs::Counter& c_instr = reg.counter("vcuda.mem_instructions");
     static obs::Counter& c_aops = reg.counter("vcuda.atomic_ops");
     static obs::Counter& c_aconf = reg.counter("vcuda.atomic_conflicts");
+    static obs::Counter& c_baops = reg.counter("vcuda.block_atomic_ops");
     static obs::Counter& c_fence = reg.counter("vcuda.fence_cycles");
     static obs::Counter& c_barrier = reg.counter("vcuda.barriers");
     static obs::Counter& c_useful = reg.counter("vcuda.lane_cycles");
@@ -229,6 +410,7 @@ void Device::finalize_launch() {
     c_instr.add(stats_.mem_instructions);
     c_aops.add(stats_.atomic_ops);
     c_aconf.add(stats_.atomic_conflicts);
+    c_baops.add(stats_.block_atomic_ops);
     c_fence.add(static_cast<std::uint64_t>(std::llround(stats_.fence_cycles)));
     c_barrier.add(stats_.barriers);
     c_useful.add(static_cast<std::uint64_t>(std::llround(stats_.lane_cycles)));
@@ -259,6 +441,8 @@ void Device::finalize_launch() {
       span.arg("atomic_ops", static_cast<double>(stats_.atomic_ops));
       span.arg("atomic_conflicts",
                static_cast<double>(stats_.atomic_conflicts));
+      span.arg("block_atomic_ops",
+               static_cast<double>(stats_.block_atomic_ops));
       span.arg("hotspot_cycles_max", stats_.hotspot_cycles_max);
       span.arg("fence_cycles", stats_.fence_cycles);
       span.arg("barriers", static_cast<double>(stats_.barriers));

@@ -60,9 +60,12 @@ struct LaunchStats {
 
   // --- observability detail (same model internals, finer grain) -----------
   std::uint64_t mem_instructions = 0;  // warp-wide ld/st SIMT instructions
-  std::uint64_t atomic_ops = 0;        // warp-aggregated atomic units
+  std::uint64_t atomic_ops = 0;        // warp-aggregated atomic units,
+                                       // including shared-memory block adds
   std::uint64_t atomic_conflicts = 0;  // units landing on an already-hit
                                        // address this launch (serialized)
+  std::uint64_t block_atomic_ops = 0;  // the shared-memory subset of
+                                       // atomic_ops (no global traffic)
   double lane_cycles = 0;       // sum of per-lane work (useful cycles)
   double lockstep_cycles = 0;   // sum of max-lane x active-lanes (what the
                                 // SIMT lockstep actually occupies)
@@ -71,9 +74,12 @@ struct LaunchStats {
   double occupancy = 0;  // resident threads / device concurrent threads
 
   /// Extra 128B transactions beyond one per ld/st instruction and one per
-  /// warp-aggregated atomic unit — the coalescing replay traffic.
+  /// warp-aggregated *global* atomic unit — the coalescing replay traffic.
+  /// Shared-memory block atomics move no global data, so they are excluded
+  /// from the ideal.
   [[nodiscard]] std::uint64_t replayed_transactions() const {
-    const std::uint64_t ideal = mem_instructions + atomic_ops;
+    const std::uint64_t ideal =
+        mem_instructions + atomic_ops - block_atomic_ops;
     return transactions > ideal ? transactions - ideal : 0;
   }
   /// SIMT-divergence serialization factor: >= 1, == 1 when every lane of
@@ -84,6 +90,14 @@ struct LaunchStats {
 
   void reset() { *this = LaunchStats{}; }
 };
+
+/// Global switch selecting the legacy (reference) model algorithms instead
+/// of the fast paths. Both produce bit-identical modeled time and
+/// LaunchStats — the reference path exists so the golden dual-path test can
+/// prove it. Sampled once per Device at construction; flip it before
+/// constructing the Device under test.
+[[nodiscard]] bool reference_model();
+void set_reference_model(bool on);
 
 namespace detail {
 
@@ -105,59 +119,74 @@ inline std::uint32_t coprime_step(std::uint32_t n) {
   return step % n == 0 ? 1 : step % n;
 }
 
-/// One recorded access: byte address plus charge kind.
-struct Access {
-  std::uint64_t addr;
-  AccessKind kind;
-};
-
 /// Per-warp recorder for the current region. Lane accesses are grouped by
 /// per-lane program-point index; aligned groups model one SIMT instruction.
+///
+/// Storage is a flat group-major arena reused across regions: group g owns
+/// addrs_[g * stride_, (g + 1) * stride_), with mem accesses stored as
+/// transaction-line values from the front and chain-atomic addresses stored
+/// raw from the back (the packed counts live in group_info_[g]). A group
+/// holds at most one access per lane, so stride_ (= warp_size) bounds the
+/// two partitions combined. Recording an access is one store plus the
+/// table-driven charge adds — no per-access heap traffic, and every kind
+/// branch constant-folds at the inlined call sites. The per-kind charge
+/// tables hold exactly the sums the old per-kind switch charged, so the
+/// accumulated doubles are bit-identical.
 class WarpRecorder {
  public:
   void begin(const DeviceSpec& spec, std::uint32_t owner) {
-    spec_ = &spec;
+    if (spec_ != &spec) bind_spec(spec);
     owner_ = owner;
-    for (auto& g : groups_) g.clear();
+    // Only the groups the previous region touched have nonzero counts.
+    if (used_groups_ > 0)
+      std::memset(group_info_.data(), 0, used_groups_ * sizeof(std::uint16_t));
     used_groups_ = 0;
-    lane_cycles_.fill(0.0);
+    op_index_ = 0;
+    // Lanes above stride_ (= warp_size) are never charged.
+    std::memset(lane_cycles_.data(), 0, stride_ * sizeof(double));
     fence_cycles_ = 0;
     active_lanes_ = 0;
   }
 
   void set_lane(int lane) {
     lane_ = lane;
+    if (op_index_ > used_groups_) used_groups_ = op_index_;
     op_index_ = 0;
-    active_lanes_ = std::max(active_lanes_, lane + 1);
+    if (lane + 1 > active_lanes_) active_lanes_ = lane + 1;
   }
 
   void charge(double cycles) { lane_cycles_[lane_] += cycles; }
 
+  // Every caller passes a compile-time-constant `kind` (the DeviceArray
+  // accessors inline down to here), so the kind branches below fold away
+  // and each call site compiles to the stores + adds of its own kind only.
   void record(std::uint64_t addr, AccessKind kind) {
-    if (op_index_ >= groups_.size()) groups_.resize(op_index_ + 1);
-    used_groups_ = std::max(used_groups_, op_index_ + 1);
-    groups_[op_index_].push_back({addr, kind});
-    ++op_index_;
-    switch (kind) {
-      case AccessKind::Load:
-      case AccessKind::Store:
-        charge(spec_->cycles_per_mem_instr);
-        break;
-      case AccessKind::Atomic:
-        charge(spec_->cycles_per_mem_instr + spec_->global_atomic_cycles);
-        break;
-      case AccessKind::CudaAtomicLdSt:
-        // The seq_cst fence stalls the SM's memory pipeline; it cannot be
-        // hidden behind other warps, so it lands in a separate pool.
-        charge(spec_->cycles_per_mem_instr);
-        fence_cycles_ += spec_->cudaatomic_ldst_cycles;
-        break;
-      case AccessKind::CudaAtomicRmw:
-        charge(spec_->cycles_per_mem_instr);
-        fence_cycles_ +=
-            spec_->global_atomic_cycles * spec_->cudaatomic_rmw_mult;
-        break;
+    const std::size_t gi = op_index_++;
+    if (gi >= group_cap_) grow(gi + 1);
+    std::uint16_t& info = group_info_[gi];
+    if (kind == AccessKind::Atomic || kind == AccessKind::CudaAtomicRmw) {
+      // Chain atomics keep their raw address (it is the chain identity)
+      // and fill the group's slots from the BACK, so no per-entry kind
+      // tag is needed: [0, mem_count) are line values, [stride_ -
+      // atomic_count, stride_) are atomic addresses. Partitioned storage
+      // preserves each group's multiset, and everything flush() computes
+      // per group (distinct counts, uniformity, the cudaatomic OR) is
+      // order-independent, so this is bit-identical to tagged storage.
+      addrs_[gi * stride_ + (stride_ - 1 - ((info >> 7) & 0x7f))] = addr;
+      info = static_cast<std::uint16_t>(info + 0x80);
+      if (kind == AccessKind::CudaAtomicRmw) info |= 0x8000;
+    } else {
+      // Mem-like accesses only ever need their transaction line; shift
+      // here so flush() reads final values.
+      addrs_[gi * stride_ + (info & 0x7f)] = addr >> line_shift_;
+      info = static_cast<std::uint16_t>(info + 1);
     }
+    const auto k = static_cast<std::size_t>(kind);
+    lane_cycles_[lane_] += lane_charge_[k];
+    // Only the cuda::atomic kinds carry a nonzero fence charge; the
+    // constant-folded kind test spares plain loads/stores the add.
+    if (kind == AccessKind::CudaAtomicLdSt || kind == AccessKind::CudaAtomicRmw)
+      fence_cycles_ += fence_charge_[k];
   }
 
   /// Folds the region's recording into the launch stats and the hotspot
@@ -165,10 +194,35 @@ class WarpRecorder {
   void flush(Device& dev);
 
  private:
+  void bind_spec(const DeviceSpec& spec);  // charge tables + arena stride
+  void grow(std::size_t need);             // cold path: enlarge the arena
+  /// Exact first-occurrence dedup of n (<= warp_size) values via a
+  /// generation-stamped open-addressing table: O(n) expected, no sort, no
+  /// per-call clearing. Writes the distinct values to `out`, returns their
+  /// count.
+  int dedup_into(const std::uint64_t* vals, int n, std::uint64_t* out);
+
+  static constexpr std::size_t kKinds = 5;
+  static constexpr std::size_t kStampSlots = 256;  // >= 4x max group size
+
   const DeviceSpec* spec_ = nullptr;
-  std::vector<std::vector<Access>> groups_;
+  // Group-major flat arena: group gi owns [gi*stride_, (gi+1)*stride_);
+  // mem lines fill it from the front, chain-atomic addresses from the back.
+  std::vector<std::uint64_t> addrs_;
+  // Packed per-group occupancy: bits 0-6 mem count, 7-13 atomic count,
+  // bit 15 = group saw a CudaAtomicRmw (both counts are <= stride_ <= 64,
+  // so the fields never carry into each other).
+  std::vector<std::uint16_t> group_info_;
+  std::size_t group_cap_ = 0;
+  std::size_t stride_ = 0;  // = warp_size while bound to a spec
+  int line_shift_ = 7;      // log2(mem_transaction_bytes), from bind_spec
   std::size_t used_groups_ = 0;
   std::size_t op_index_ = 0;
+  std::array<double, kKinds> lane_charge_{};   // lane cycles per kind
+  std::array<double, kKinds> fence_charge_{};  // fence cycles per kind
+  std::array<std::uint64_t, kStampSlots> stamp_key_{};
+  std::array<std::uint64_t, kStampSlots> stamp_gen_{};
+  std::uint64_t stamp_counter_ = 0;
   std::array<double, 64> lane_cycles_{};  // supports warp_size <= 64
   double fence_cycles_ = 0;
   int lane_ = 0;
@@ -213,6 +267,10 @@ class Thread {
 
   // Racecheck hooks, called by DeviceArray with the TRUE element address
   // (record() aligns the base down for coalescing; shadow state must not).
+  // Callers gate on race_on() so the default timing configuration pays one
+  // predictable never-taken branch per access — in particular the
+  // delta_sign computation feeding race_write is never evaluated.
+  [[nodiscard]] bool race_on() const { return rc_ != nullptr; }
   void race_read(const void* elem, bool atomic) {
     if (rc_ != nullptr) rc_->read(elem, bidx_, tid_, atomic);
   }
@@ -221,6 +279,12 @@ class Thread {
   }
 
  private:
+  // Block reuses one Thread per for_each_thread region, updating only the
+  // thread id between lanes (regions average a handful of accesses, so
+  // per-lane construction cost is visible at sweep scale).
+  friend class Block;
+  void set_tid(std::uint32_t tid) { tid_ = tid; }
+
   detail::WarpRecorder& rec_;
   racecheck::VcudaChecker* rc_;
   std::uint32_t tid_, bidx_, bdim_, gdim_;
@@ -250,34 +314,40 @@ class DeviceArray {
   [[nodiscard]] std::span<T> raw() const { return data_; }
 
   // --- classic CUDA accesses (paper Listing 9a world) ---------------------
+  // Race hooks (and their delta_sign computation) are gated on race_on() so
+  // the default timing configuration pays nothing per access beyond one
+  // predictable branch.
   T ld(Thread& t, std::size_t i) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Load);
-    t.race_read(&data_[i], false);
+    if (t.race_on()) t.race_read(&data_[i], false);
     return data_[i];
   }
   void st(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Store);
-    t.race_write(&data_[i], false, detail::delta_sign(data_[i], v));
+    if (t.race_on())
+      t.race_write(&data_[i], false, detail::delta_sign(data_[i], v));
     data_[i] = v;
   }
   T atomic_min(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
-    t.race_write(&data_[i], true, v < old ? -1 : 0);
+    if (t.race_on()) t.race_write(&data_[i], true, v < old ? -1 : 0);
     if (v < old) data_[i] = v;
     return old;
   }
   T atomic_max(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
-    t.race_write(&data_[i], true, old < v ? 1 : 0);
+    if (t.race_on()) t.race_write(&data_[i], true, old < v ? 1 : 0);
     if (v > old) data_[i] = v;
     return old;
   }
   T atomic_add(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
-    t.race_write(&data_[i], true, detail::delta_sign(old, static_cast<T>(old + v)));
+    if (t.race_on())
+      t.race_write(&data_[i], true,
+                   detail::delta_sign(old, static_cast<T>(old + v)));
     data_[i] = old + v;
     return old;
   }
@@ -285,8 +355,9 @@ class DeviceArray {
   T atomic_cas(Thread& t, std::size_t i, T expected, T desired) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
-    t.race_write(&data_[i], true,
-                 old == expected ? detail::delta_sign(old, desired) : 0);
+    if (t.race_on())
+      t.race_write(&data_[i], true,
+                   old == expected ? detail::delta_sign(old, desired) : 0);
     if (old == expected) data_[i] = desired;
     return old;
   }
@@ -294,32 +365,35 @@ class DeviceArray {
   // --- cuda::atomic with default settings (paper Listing 9b world) --------
   T ald(Thread& t, std::size_t i) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
-    t.race_read(&data_[i], true);
+    if (t.race_on()) t.race_read(&data_[i], true);
     return data_[i];
   }
   void ast(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
-    t.race_write(&data_[i], true, detail::delta_sign(data_[i], v));
+    if (t.race_on())
+      t.race_write(&data_[i], true, detail::delta_sign(data_[i], v));
     data_[i] = v;
   }
   T afetch_min(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
-    t.race_write(&data_[i], true, v < old ? -1 : 0);
+    if (t.race_on()) t.race_write(&data_[i], true, v < old ? -1 : 0);
     if (v < old) data_[i] = v;
     return old;
   }
   T afetch_max(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
-    t.race_write(&data_[i], true, old < v ? 1 : 0);
+    if (t.race_on()) t.race_write(&data_[i], true, old < v ? 1 : 0);
     if (v > old) data_[i] = v;
     return old;
   }
   T afetch_add(Thread& t, std::size_t i, T v) const {
     t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
-    t.race_write(&data_[i], true, detail::delta_sign(old, static_cast<T>(old + v)));
+    if (t.race_on())
+      t.race_write(&data_[i], true,
+                   detail::delta_sign(old, static_cast<T>(old + v)));
     data_[i] = old + v;
     return old;
   }
@@ -346,9 +420,11 @@ class Block {
     const std::uint32_t warps = (bdim_ + ws - 1) / ws;
     // Warps run in scrambled order for the same reason blocks do (see
     // Device::launch): hardware interleaves them, so in-order execution
-    // would overstate in-sweep value propagation.
-    const std::uint32_t step = detail::coprime_step(warps);
+    // would overstate in-sweep value propagation. The strides depend only
+    // on the (fixed) block shape, so the ctor precomputes them.
+    const std::uint32_t step = warp_step_;
     std::uint32_t w = 0;
+    Thread t(rec_, 0, bidx_, bdim_, gdim_, warp_size_, rc_);
     for (std::uint32_t k = 0; k < warps; ++k) {
       rec_.begin(spec(), bidx_ * warps + w);
       const std::uint32_t lo = w * ws;
@@ -357,12 +433,14 @@ class Block {
       // lane's reads happen before its siblings' same-instruction writes
       // land, so in-id-order emulation would overstate how far values
       // chain through a warp within one sweep.
-      const std::uint32_t lstep = detail::coprime_step(count);
+      const std::uint32_t lstep =
+          count == ws ? lane_step_full_ : lane_step_tail_;
       std::uint32_t li = 0;
       for (std::uint32_t j = 0; j < count; ++j) {
-        const std::uint32_t tid = lo + li;
-        rec_.set_lane(static_cast<int>(tid % ws));
-        Thread t(rec_, tid, bidx_, bdim_, gdim_, warp_size_, rc_);
+        // lane == tid % ws == li, since lo is a multiple of ws and
+        // li < count <= ws — no per-lane division needed.
+        rec_.set_lane(static_cast<int>(li));
+        t.set_tid(lo + li);
         fn(t);
         li += lstep;
         if (li >= count) li -= count;
@@ -388,11 +466,18 @@ class Block {
 
   /// Shared-memory (block-scope) atomic add, paper Listing 10b. Serializes
   /// within the block like hardware shared-memory atomics to one address.
+  /// Counted in LaunchStats.atomic_ops/block_atomic_ops and visible to the
+  /// racecheck shadow state, so shared-memory-reduction styles are
+  /// auditable like their global-atomic siblings.
   template <typename T>
   T atomic_add_block(Thread& t, T& target, T v) {
     t.work(1);
     block_serial_cycles_ += block_atomic_cycles();
+    note_block_atomic();
     const T old = target;
+    if (t.race_on())
+      t.race_write(&target, true,
+                   detail::delta_sign(old, static_cast<T>(old + v)));
     target = old + v;
     return old;
   }
@@ -409,12 +494,17 @@ class Block {
  private:
   [[nodiscard]] const DeviceSpec& spec() const;
   [[nodiscard]] double block_atomic_cycles() const;
+  void note_block_atomic();  // LaunchStats accounting (Device is incomplete
+                             // here, so the body lives in sim.cpp)
 
   Device& dev_;
   detail::WarpRecorder rec_;
   racecheck::VcudaChecker* rc_ = nullptr;
   std::uint32_t bidx_ = 0, bdim_, gdim_;
   int warp_size_;
+  std::uint32_t warp_step_ = 1;       // coprime_step(warp count)
+  std::uint32_t lane_step_full_ = 1;  // coprime_step(warp_size)
+  std::uint32_t lane_step_tail_ = 1;  // coprime_step(last warp's lanes)
   double block_serial_cycles_ = 0;
   std::vector<std::vector<std::byte>> shared_;
 };
@@ -507,6 +597,13 @@ class Device {
   }
   void note_atomic_chain(std::uint64_t addr, double cycles,
                          std::uint32_t owner);
+  void note_block_atomic() {
+    ++stats_.atomic_ops;
+    ++stats_.block_atomic_ops;
+  }
+  /// True when this Device runs the legacy reference algorithms (sampled
+  /// from reference_model() at construction). Read by WarpRecorder::flush.
+  [[nodiscard]] bool reference_mode() const { return ref_; }
 
  private:
   void begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim);
@@ -516,8 +613,18 @@ class Device {
   std::unique_ptr<racecheck::VcudaChecker> rc_;
   LaunchStats stats_;
   LaunchStats last_stats_;
-  std::vector<double> hotspot_;  // same-address atomic chains, hashed
+  // Same-address atomic chains, hashed into a fixed-size table. A slot is
+  // live for the current launch iff its epoch matches launch_epoch_; stale
+  // slots read as (cycles 0, owner never-hit). This replaces the per-launch
+  // 20KB assign() memsets, and hot_max_ tracks the running maximum so
+  // finalize_launch does not rescan the table (a running max of monotone
+  // accumulations equals the final scan's max bit-for-bit).
+  std::vector<double> hotspot_;
   std::vector<std::uint32_t> hotspot_owner_;  // last warp to hit each slot
+  std::vector<std::uint64_t> hotspot_epoch_;
+  std::uint64_t launch_epoch_ = 0;
+  double hot_max_ = 0;
+  bool ref_ = false;  // legacy reference algorithms (golden test only)
   double launch_start_us_ = 0;  // wall clock, for the launch trace span
   double elapsed_s_ = 0;
   std::uint64_t launches_ = 0;

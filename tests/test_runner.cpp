@@ -100,12 +100,39 @@ TEST(Measure, EvenRepsMedianIsMidpointOfCentralPair) {
     return r;
   };
   RunOptions opts;
+  // This fake variant is intentionally non-deterministic across reps, so
+  // the model-rep dedup (which assumes determinism) must be disabled to
+  // exercise the multi-sample median.
+  opts.dedup_model_reps = false;
   const Measurement even = measure(v, g, opts, 2, ver);
   EXPECT_TRUE(even.verified) << even.error;
   EXPECT_DOUBLE_EQ(even.seconds, 2.0);
   *calls = 0;
   const Measurement odd = measure(v, g, opts, 3, ver);
   EXPECT_DOUBLE_EQ(odd.seconds, 1.0);  // sorted {1,1,3}: true middle
+}
+
+TEST(Measure, DedupModelRepsSimulatesOnce) {
+  const Graph g = make_grid2d(4);
+  Verifier ver(g, 0);
+  Variant v;
+  v.model = Model::Cuda;
+  v.algo = Algorithm::CC;
+  v.name = "fake-cc-dedup";
+  auto calls = std::make_shared<int>(0);
+  v.run = [calls](const Graph& gr, const RunOptions&) {
+    ++*calls;
+    RunResult r;
+    r.output.labels = serial::cc(gr);
+    r.seconds = 2.5;
+    r.iterations = 1;
+    return r;
+  };
+  RunOptions opts;  // dedup_model_reps defaults to on
+  const Measurement m = measure(v, g, opts, 5, ver);
+  EXPECT_TRUE(m.verified) << m.error;
+  EXPECT_EQ(*calls, 1);  // one simulation, sample replicated
+  EXPECT_DOUBLE_EQ(m.seconds, 2.5);
 }
 
 TEST(Verifier, PrToleranceScalesWithRankAndVertexCount) {
