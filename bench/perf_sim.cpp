@@ -1,14 +1,23 @@
 // Interpreter-throughput microbenchmark for the vcuda simulator.
 //
 // The whole-study wall clock is bound by how fast the single-threaded
-// interpreter can push simulated accesses through WarpRecorder::record /
-// flush (BENCH_sweep.json: scheduling 3470 model-timed jobs across workers
-// bought 0.985x on one core — the hot path IS the study's scaling axis).
-// This binary times that hot path in isolation: six kernels spanning the
-// paper's style axes (push/pull x vertex/edge BFS + PR, plus a worklist-tail
-// hotspot) run for a fixed number of sweeps over an R-MAT input, and the
-// report is wall-clock interpreter throughput — simulated accesses/sec and
-// simulated edges/sec — written to BENCH_sim.json.
+// interpreter can push simulated accesses through the recorder (BENCH_sweep:
+// scheduling 3470 model-timed jobs across workers bought 0.985x on one core —
+// the hot path IS the study's scaling axis). This binary times that hot path
+// in isolation: six kernels spanning the paper's style axes (push/pull x
+// vertex/edge BFS + PR, plus a worklist-tail hotspot) over an R-MAT input.
+//
+// Every kernel exists in two forms that issue the exact same lane-level
+// access sequence:
+//   per-lane   — the legacy for_each_thread path: one scalar Thread at a
+//                time, one record() call per access;
+//   lane-loop  — the de-SPMD for_each_warp path: a warp's lanes advance
+//                together through SoA state, divergence is a 64-bit mask
+//                word, and each *_warp accessor records a whole lane batch
+//                at once (see WarpCtx in vcuda/sim.hpp).
+// Both are timed and reported side by side; the aggregate line (and the
+// baseline gate) score the lane-loop engine, which is what the real variant
+// kernels run on where they can.
 //
 // Flags:
 //   --scale=N        log2 vertex count of the R-MAT input (default 14)
@@ -38,6 +47,7 @@ namespace {
 
 using namespace indigo;
 using Clock = std::chrono::steady_clock;
+using Mask = vcuda::WarpCtx::Mask;
 
 constexpr std::uint32_t kBD = 256;
 
@@ -92,6 +102,18 @@ double read_baseline_accesses_per_s(const std::string& path) {
   return std::atof(text.c_str() + pos + key.size());
 }
 
+void emit_kernel_array(std::ofstream& json,
+                       const std::vector<KernelResult>& results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& kr = results[i];
+    json << "    {\"name\": \"" << kr.name << "\", \"wall_s\": " << kr.wall_s
+         << ", \"accesses\": " << kr.accesses
+         << ", \"ns_per_access\": " << kr.ns_per_access
+         << ", \"sim_edges_per_s\": " << kr.sim_edges_per_s << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,7 +154,7 @@ int main(int argc, char** argv) {
   const eid_t e = g.num_edges();
   const vcuda::DeviceSpec spec = vcuda::rtx3090_like();
   std::cout << "[perf_sim] " << g.name() << ": " << n << " vertices, " << e
-            << " arcs, " << reps << " sweeps per kernel\n";
+            << " arcs, " << reps << " sweeps per kernel per engine\n";
 
   // Host-side state the kernels touch. The relaxations run to convergence
   // quickly, but atomic_min/ld record the same accesses whether or not the
@@ -153,15 +175,28 @@ int main(int argc, char** argv) {
   auto src_span = std::span<vid_t>(const_cast<vid_t*>(g.src_list().data()),
                                    g.src_list().size());
 
-  std::vector<KernelResult> results;
+  std::vector<KernelResult> lane_loop;   // for_each_warp engine (gated)
+  std::vector<KernelResult> per_lane;    // legacy for_each_thread engine
+
+  // Runs one kernel through both engines back to back so ambient machine
+  // noise hits both measurements alike.
+  auto bench_pair = [&](const std::string& name, std::uint64_t accesses,
+                        std::uint64_t edges, auto&& legacy, auto&& lane) {
+    per_lane.push_back(
+        time_kernel(name, spec, reps, accesses, edges, legacy));
+    lane_loop.push_back(time_kernel(name, spec, reps, accesses, edges, lane));
+  };
 
   // --- BFS push, vertex granularity: ld row[2] + per edge ld col +
-  // atomic_min(dist) — the Listing 2a shape.
-  results.push_back(time_kernel(
-      "bfs_push_vertex", spec, reps,
+  // atomic_min(dist) — the Listing 2a shape. The lane-loop twin walks the
+  // ragged adjacency lists in lockstep: `live` drops a lane's bit once its
+  // edge cursor passes its row end (divergence as mask arithmetic).
+  bench_pair(
+      "bfs_push_vertex",
       /*accesses=*/static_cast<std::uint64_t>(n) * 3 +
           static_cast<std::uint64_t>(e) * 2,
-      /*edges=*/e, [&](vcuda::Device& dev) {
+      /*edges=*/e,
+      [&](vcuda::Device& dev) {
         auto row = dev.array(row_span);
         auto col = dev.array(col_span);
         auto d = dev.array(std::span<std::uint32_t>(dist));
@@ -177,14 +212,41 @@ int main(int argc, char** argv) {
             }
           });
         });
-      }));
+      },
+      [&](vcuda::Device& dev) {
+        auto row = dev.array(row_span);
+        auto col = dev.array(col_span);
+        auto d = dev.array(std::span<std::uint32_t>(dist));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            const std::uint32_t base = w.gidx_base();
+            if (base >= n) return;
+            const Mask active = w.mask_first(n - base);
+            vcuda::LaneVec<std::uint32_t> dv, nd;
+            vcuda::LaneVec<eid_t> cur, hi;
+            vcuda::LaneVec<vid_t> u;
+            d.ld_warp_c(w, active, base, dv.v);
+            row.ld_warp_c(w, active, base, cur.v);
+            row.ld_warp_c(w, active, base + 1, hi.v);
+            w.for_lanes(active, [&](int l) { nd[l] = dv[l] + 1; });
+            Mask live = w.where(active, [&](int l) { return cur[l] < hi[l]; });
+            while (live != 0) {
+              col.ld_warp(w, live, cur.v, u.v);
+              d.atomic_min_warp(w, live, u.v, nd.v);
+              w.for_lanes(live, [&](int l) { ++cur[l]; });
+              live = w.where(live, [&](int l) { return cur[l] < hi[l]; });
+            }
+          });
+        });
+      });
 
   // --- BFS pull, vertex granularity: per edge ld col + ld dist, then one
   // plain store — all-load coalescing traffic (Listing 3a shape).
-  results.push_back(time_kernel(
-      "bfs_pull_vertex", spec, reps,
+  bench_pair(
+      "bfs_pull_vertex",
       static_cast<std::uint64_t>(n) * 4 + static_cast<std::uint64_t>(e) * 2,
-      e, [&](vcuda::Device& dev) {
+      e,
+      [&](vcuda::Device& dev) {
         auto row = dev.array(row_span);
         auto col = dev.array(col_span);
         auto d = dev.array(std::span<std::uint32_t>(dist));
@@ -202,12 +264,44 @@ int main(int argc, char** argv) {
             d.st(t, v, best);
           });
         });
-      }));
+      },
+      [&](vcuda::Device& dev) {
+        auto row = dev.array(row_span);
+        auto col = dev.array(col_span);
+        auto d = dev.array(std::span<std::uint32_t>(dist));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            const std::uint32_t base = w.gidx_base();
+            if (base >= n) return;
+            const Mask active = w.mask_first(n - base);
+            vcuda::LaneVec<std::uint32_t> best, du;
+            vcuda::LaneVec<eid_t> cur, hi;
+            vcuda::LaneVec<vid_t> u;
+            d.ld_warp_c(w, active, base, best.v);
+            row.ld_warp_c(w, active, base, cur.v);
+            row.ld_warp_c(w, active, base + 1, hi.v);
+            Mask live = w.where(active, [&](int l) { return cur[l] < hi[l]; });
+            while (live != 0) {
+              col.ld_warp(w, live, cur.v, u.v);
+              d.ld_warp(w, live, u.v, du.v);
+              w.for_lanes(live, [&](int l) {
+                if (du[l] != 0xffffffffu && du[l] + 1 < best[l]) {
+                  best[l] = du[l] + 1;
+                }
+                ++cur[l];
+              });
+              live = w.where(live, [&](int l) { return cur[l] < hi[l]; });
+            }
+            d.st_warp_c(w, active, base, best.v);
+          });
+        });
+      });
 
   // --- BFS push, edge granularity: coalesced COO loads + scattered
-  // atomic_min (Listing 2b shape).
-  results.push_back(time_kernel(
-      "bfs_push_edge", spec, reps, static_cast<std::uint64_t>(e) * 4, e,
+  // atomic_min (Listing 2b shape). The per-lane guard `ds != inf` becomes a
+  // mask refinement in the lane-loop twin.
+  bench_pair(
+      "bfs_push_edge", static_cast<std::uint64_t>(e) * 4, e,
       [&](vcuda::Device& dev) {
         auto src = dev.array(src_span);
         auto dst = dev.array(col_span);
@@ -222,13 +316,35 @@ int main(int argc, char** argv) {
             if (ds != 0xffffffffu) d.atomic_min(t, u, ds + 1);
           });
         });
-      }));
+      },
+      [&](vcuda::Device& dev) {
+        auto src = dev.array(src_span);
+        auto dst = dev.array(col_span);
+        auto d = dev.array(std::span<std::uint32_t>(dist));
+        dev.launch(grid_for(e), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            const std::uint32_t base = w.gidx_base();
+            if (base >= e) return;
+            const Mask active = w.mask_first(e - base);
+            vcuda::LaneVec<vid_t> s, u;
+            vcuda::LaneVec<std::uint32_t> ds, nd;
+            src.ld_warp_c(w, active, base, s.v);
+            dst.ld_warp_c(w, active, base, u.v);
+            d.ld_warp(w, active, s.v, ds.v);
+            const Mask hit =
+                w.where(active, [&](int l) { return ds[l] != 0xffffffffu; });
+            w.for_lanes(hit, [&](int l) { nd[l] = ds[l] + 1; });
+            d.atomic_min_warp(w, hit, u.v, nd.v);
+          });
+        });
+      });
 
   // --- PR pull, vertex granularity: gather contributions, plain store.
-  results.push_back(time_kernel(
-      "pr_pull_vertex", spec, reps,
+  bench_pair(
+      "pr_pull_vertex",
       static_cast<std::uint64_t>(n) * 3 + static_cast<std::uint64_t>(e) * 2,
-      e, [&](vcuda::Device& dev) {
+      e,
+      [&](vcuda::Device& dev) {
         auto row = dev.array(row_span);
         auto col = dev.array(col_span);
         auto r = dev.array(std::span<float>(rank));
@@ -246,12 +362,45 @@ int main(int argc, char** argv) {
             r.st(t, v, 0.15f / static_cast<float>(n) + 0.85f * sum);
           });
         });
-      }));
+      },
+      [&](vcuda::Device& dev) {
+        auto row = dev.array(row_span);
+        auto col = dev.array(col_span);
+        auto r = dev.array(std::span<float>(rank));
+        auto c = dev.array(std::span<float>(contrib));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            const std::uint32_t base = w.gidx_base();
+            if (base >= n) return;
+            const Mask active = w.mask_first(n - base);
+            vcuda::LaneVec<float> sum, cu;
+            vcuda::LaneVec<eid_t> cur, hi;
+            vcuda::LaneVec<vid_t> u;
+            w.for_lanes(active, [&](int l) { sum[l] = 0; });
+            row.ld_warp_c(w, active, base, cur.v);
+            row.ld_warp_c(w, active, base + 1, hi.v);
+            Mask live = w.where(active, [&](int l) { return cur[l] < hi[l]; });
+            while (live != 0) {
+              col.ld_warp(w, live, cur.v, u.v);
+              c.ld_warp(w, live, u.v, cu.v);
+              w.for_lanes(live, [&](int l) {
+                sum[l] += cu[l];
+                ++cur[l];
+              });
+              live = w.where(live, [&](int l) { return cur[l] < hi[l]; });
+            }
+            w.for_lanes(active, [&](int l) {
+              sum[l] = 0.15f / static_cast<float>(n) + 0.85f * sum[l];
+            });
+            r.st_warp_c(w, active, base, sum.v);
+          });
+        });
+      });
 
   // --- PR push, edge granularity: coalesced COO loads + scattered
   // atomic_add into ranks (the contended RMW style).
-  results.push_back(time_kernel(
-      "pr_push_edge", spec, reps, static_cast<std::uint64_t>(e) * 4, e,
+  bench_pair(
+      "pr_push_edge", static_cast<std::uint64_t>(e) * 4, e,
       [&](vcuda::Device& dev) {
         auto src = dev.array(src_span);
         auto dst = dev.array(col_span);
@@ -266,13 +415,33 @@ int main(int argc, char** argv) {
             r.atomic_add(t, u, c.ld(t, s));
           });
         });
-      }));
+      },
+      [&](vcuda::Device& dev) {
+        auto src = dev.array(src_span);
+        auto dst = dev.array(col_span);
+        auto r = dev.array(std::span<float>(rank));
+        auto c = dev.array(std::span<float>(contrib));
+        dev.launch(grid_for(e), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            const std::uint32_t base = w.gidx_base();
+            if (base >= e) return;
+            const Mask active = w.mask_first(e - base);
+            vcuda::LaneVec<vid_t> s, u;
+            vcuda::LaneVec<float> cs;
+            src.ld_warp_c(w, active, base, s.v);
+            dst.ld_warp_c(w, active, base, u.v);
+            c.ld_warp(w, active, s.v, cs.v);
+            r.atomic_add_warp(w, active, u.v, cs.v);
+          });
+        });
+      });
 
   // --- Worklist-tail hotspot: every thread bumps one shared cursor — the
   // maximally serialized same-address chain (note_atomic_chain's worst
-  // case, one unit per warp after aggregation).
-  results.push_back(time_kernel(
-      "wl_tail_hotspot", spec, reps, static_cast<std::uint64_t>(n), n,
+  // case, one unit per warp after aggregation). The lane-loop twin hits the
+  // warp-uniform short-circuit in the batched accounting.
+  bench_pair(
+      "wl_tail_hotspot", static_cast<std::uint64_t>(n), n,
       [&](vcuda::Device& dev) {
         auto tail = dev.array(std::span<std::uint32_t>(wl_tail));
         dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
@@ -281,40 +450,66 @@ int main(int argc, char** argv) {
             tail.atomic_add(t, 0, 1u);
           });
         });
-      }));
+      },
+      [&](vcuda::Device& dev) {
+        auto tail = dev.array(std::span<std::uint32_t>(wl_tail));
+        dev.launch(grid_for(n), kBD, [&](vcuda::Block& blk) {
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            const std::uint32_t base = w.gidx_base();
+            if (base >= n) return;
+            const Mask active = w.mask_first(n - base);
+            vcuda::LaneVec<std::uint32_t> zero, one;
+            w.for_lanes(active, [&](int l) {
+              zero[l] = 0;
+              one[l] = 1;
+            });
+            tail.atomic_add_warp(w, active, zero.v, one.v);
+          });
+        });
+      });
 
-  double total_wall = 0;
+  // Per-kernel comparison, then the aggregate over the lane-loop engine
+  // (the engine the migrated variant kernels run on).
+  std::printf("[perf_sim] %-16s %12s %12s %9s\n", "kernel",
+              "per-lane", "lane-loop", "speedup");
+  double lane_wall = 0, legacy_wall = 0;
   std::uint64_t total_accesses = 0, total_edges = 0;
-  for (const KernelResult& kr : results) {
-    total_wall += kr.wall_s;
-    total_accesses += kr.accesses;
-    total_edges += kr.sim_edges;
-    std::printf("[perf_sim] %-16s %8.3fs  %7.1f ns/access  %8.2f Msimedges/s\n",
-                kr.name.c_str(), kr.wall_s, kr.ns_per_access,
-                kr.sim_edges_per_s / 1e6);
+  for (std::size_t i = 0; i < lane_loop.size(); ++i) {
+    const KernelResult& lk = per_lane[i];
+    const KernelResult& wk = lane_loop[i];
+    legacy_wall += lk.wall_s;
+    lane_wall += wk.wall_s;
+    total_accesses += wk.accesses;
+    total_edges += wk.sim_edges;
+    std::printf("[perf_sim] %-16s %7.1f ns/a %7.1f ns/a %8.2fx\n",
+                wk.name.c_str(), lk.ns_per_access, wk.ns_per_access,
+                wk.wall_s > 0 ? lk.wall_s / wk.wall_s : 0.0);
   }
   const double agg_aps =
-      total_wall > 0 ? static_cast<double>(total_accesses) / total_wall : 0;
+      lane_wall > 0 ? static_cast<double>(total_accesses) / lane_wall : 0;
   const double agg_eps =
-      total_wall > 0 ? static_cast<double>(total_edges) / total_wall : 0;
+      lane_wall > 0 ? static_cast<double>(total_edges) / lane_wall : 0;
   std::printf(
-      "[perf_sim] aggregate: %.3fs wall, %.2f Maccesses/s, %.2f Msimedges/s\n",
-      total_wall, agg_aps / 1e6, agg_eps / 1e6);
+      "[perf_sim] aggregate (lane-loop): %.3fs wall, %.2f Maccesses/s, "
+      "%.2f Msimedges/s (per-lane engine: %.3fs, %.2fx overall)\n",
+      lane_wall, agg_aps / 1e6, agg_eps / 1e6, legacy_wall,
+      lane_wall > 0 ? legacy_wall / lane_wall : 0.0);
 
   std::ofstream json(json_path);
   json.precision(6);
   json << "{\n  \"graph\": \"" << g.name() << "\",\n  \"vertices\": " << n
        << ",\n  \"arcs\": " << e << ",\n  \"reps\": " << reps
-       << ",\n  \"kernels\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const KernelResult& kr = results[i];
-    json << "    {\"name\": \"" << kr.name << "\", \"wall_s\": " << kr.wall_s
-         << ", \"accesses\": " << kr.accesses
-         << ", \"ns_per_access\": " << kr.ns_per_access
-         << ", \"sim_edges_per_s\": " << kr.sim_edges_per_s << "}"
-         << (i + 1 < results.size() ? ",\n" : "\n");
-  }
-  json << "  ],\n  \"aggregate\": {\"wall_s\": " << total_wall
+       << ",\n  \"kernels_per_lane\": [\n";
+  emit_kernel_array(json, per_lane);
+  json << "  ],\n  \"kernels\": [\n";
+  emit_kernel_array(json, lane_loop);
+  // "aggregate" (the gated metric) must stay the LAST accesses_per_s key in
+  // the file: the baseline reader takes the final occurrence.
+  json << "  ],\n  \"per_lane_aggregate\": {\"wall_s\": " << legacy_wall
+       << ", \"accesses_per_s\": "
+       << (legacy_wall > 0 ? static_cast<double>(total_accesses) / legacy_wall
+                           : 0)
+       << "},\n  \"aggregate\": {\"wall_s\": " << lane_wall
        << ", \"accesses_per_s\": " << agg_aps
        << ", \"sim_edges_per_s\": " << agg_eps << "}\n}\n";
   std::cout << "[perf_sim] wrote " << json_path << '\n';

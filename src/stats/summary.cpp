@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <iostream>
+#include <limits>
 #include <sstream>
 
 namespace indigo::stats {
@@ -24,11 +26,30 @@ double median(std::span<const double> data) {
   return quantile(copy, 0.5);
 }
 
-double geomean(std::span<const double> data) {
-  if (data.empty()) return 0.0;
+double geomean(std::span<const double> data,
+               std::size_t* dropped_nonpositive) {
+  if (data.empty()) {
+    if (dropped_nonpositive != nullptr) *dropped_nonpositive = 0;
+    return 0.0;
+  }
   double log_sum = 0.0;
-  for (double v : data) log_sum += std::log(std::max(v, 1e-300));
-  return std::exp(log_sum / static_cast<double>(data.size()));
+  std::size_t n_pos = 0;
+  for (double v : data) {
+    if (v > 0.0) {
+      log_sum += std::log(v);
+      ++n_pos;
+    }
+  }
+  const std::size_t dropped = data.size() - n_pos;
+  if (dropped_nonpositive != nullptr) *dropped_nonpositive = dropped;
+  if (dropped > 0) {
+    std::cerr << "[stats] geomean: dropped " << dropped << " of "
+              << data.size() << " nonpositive value(s)\n";
+  }
+  // All entries nonpositive: there is no defensible value, and returning a
+  // clamped ~0 would let a fully failed series pass as data. NaN is loud.
+  if (n_pos == 0) return std::numeric_limits<double>::quiet_NaN();
+  return std::exp(log_sum / static_cast<double>(n_pos));
 }
 
 double arithmetic_mean(std::span<const double> data) {
@@ -39,10 +60,17 @@ double arithmetic_mean(std::span<const double> data) {
 }
 
 double pearson(std::span<const double> x, std::span<const double> y) {
-  const std::size_t n = std::min(x.size(), y.size());
+  if (x.size() != y.size()) {
+    // Pairing is positional; unequal lengths mean the caller misaligned its
+    // series. Truncating would silently correlate the wrong pairs.
+    std::cerr << "[stats] pearson: mismatched lengths (" << x.size() << " vs "
+              << y.size() << "); returning NaN\n";
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const std::size_t n = x.size();
   if (n < 2) return 0.0;
-  const double mx = arithmetic_mean(x.subspan(0, n));
-  const double my = arithmetic_mean(y.subspan(0, n));
+  const double mx = arithmetic_mean(x);
+  const double my = arithmetic_mean(y);
   double sxy = 0, sxx = 0, syy = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const double dx = x[i] - mx, dy = y[i] - my;

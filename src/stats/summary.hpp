@@ -17,11 +17,24 @@ namespace indigo::stats {
 double quantile(std::span<const double> sorted, double q);
 
 double median(std::span<const double> data);
-double geomean(std::span<const double> data);
+
+/// Geometric mean over the POSITIVE entries of `data`. The geometric mean
+/// is undefined for nonpositive values; such entries (a failed run's zero
+/// throughput that slipped through, a negative ratio) are excluded rather
+/// than silently clamped to a ~1e-300 factor that would crater the result
+/// invisibly. Every exclusion is counted into *dropped_nonpositive (if
+/// provided) and reported once to stderr (always). Returns 0.0 for an
+/// empty input and NaN when data is nonempty but holds no positive entry —
+/// loud, so a fully failed series cannot masquerade as a tiny mean.
+double geomean(std::span<const double> data,
+               std::size_t* dropped_nonpositive = nullptr);
+
 double arithmetic_mean(std::span<const double> data);
 
 /// Pearson correlation coefficient of two equal-length samples; returns 0
-/// for degenerate (constant) inputs.
+/// for degenerate (constant) inputs. Mismatched lengths are a caller bug
+/// (pairing is positional): reported to stderr and answered with NaN
+/// instead of silently truncating to the shorter sample.
 double pearson(std::span<const double> x, std::span<const double> y);
 
 /// Letter-value summary of a sample (Hofmann, Wickham, Kafadar 2017), the

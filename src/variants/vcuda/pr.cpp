@@ -88,13 +88,14 @@ RunResult pr_run(const Graph& g, const RunOptions& opts) {
     res_h[0] = 0.0;
 
     if constexpr (kPush) {
-      // Kernel 1: reset the target array to the teleport base.
+      // Kernel 1: reset the target array to the teleport base. Elementwise
+      // broadcast store — runs in lane-loop form (see WarpCtx).
       const std::uint32_t grid0 = grid_for<Granularity::Thread, C.pers>(dev, n);
       dev.launch(grid0, kBD, [&](vcuda::Block& blk) {
-        blk.for_each_thread([&](vcuda::Thread& t) {
-          for_items<Granularity::Thread, C.pers>(
-              t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
-                nxt.st(t, v, base);
+        blk.for_each_warp([&](vcuda::WarpCtx& w) {
+          for_items_warp<C.pers>(
+              w, n, [&](vcuda::WarpCtx::Mask mask, std::uint32_t vbase) {
+                nxt.st_warp_cv(w, mask, vbase, base);
               });
         });
       });

@@ -64,14 +64,23 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
   }
 
   // --- init kernel ---------------------------------------------------------
+  // Elementwise kernels (disjoint per-lane stores, per-lane-aligned op
+  // order) run in lane-loop form: batch-for-batch they perform the per-lane
+  // loop's exact op groups, so charges, coalescing groups and stored values
+  // are unchanged — only the interpreter overhead drops (see WarpCtx).
   {
     const std::uint32_t grid = grid_for<Granularity::Thread, C.pers>(dev, n);
     dev.launch(grid, kBD, [&](vcuda::Block& blk) {
-      blk.for_each_thread([&](vcuda::Thread& t) {
-        for_items<Granularity::Thread, C.pers>(
-            t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
-              cur.st(t, v, Problem::init(v, source));
-              if constexpr (kDet) nxt.st(t, v, Problem::init(v, source));
+      blk.for_each_warp([&](vcuda::WarpCtx& w) {
+        for_items_warp<C.pers>(
+            w, n, [&](vcuda::WarpCtx::Mask mask, std::uint32_t base) {
+              vcuda::LaneVec<std::uint32_t> init;
+              w.for_lanes(mask, [&](int l) {
+                init[l] = Problem::init(base + static_cast<std::uint32_t>(l),
+                                        source);
+              });
+              cur.st_warp_c(w, mask, base, init.v);
+              if constexpr (kDet) nxt.st_warp_c(w, mask, base, init.v);
             });
       });
     });
@@ -83,10 +92,14 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
       const std::uint32_t grid =
           grid_for<Granularity::Thread, C.pers>(dev, items);
       dev.launch(grid, kBD, [&](vcuda::Block& blk) {
-        blk.for_each_thread([&](vcuda::Thread& t) {
-          for_items<Granularity::Thread, C.pers>(
-              t, items, [&](std::uint32_t i, std::uint32_t, std::uint32_t) {
-                wl_in.st(t, i, i);
+        blk.for_each_warp([&](vcuda::WarpCtx& w) {
+          for_items_warp<C.pers>(
+              w, items, [&](vcuda::WarpCtx::Mask mask, std::uint32_t base) {
+                vcuda::LaneVec<std::uint32_t> iota;
+                w.for_lanes(mask, [&](int l) {
+                  iota[l] = base + static_cast<std::uint32_t>(l);
+                });
+                wl_in.st_warp_c(w, mask, base, iota.v);
               });
         });
       });
@@ -198,12 +211,15 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
     }
     if constexpr (kDet) {
       // Refresh the write array (cost of the deterministic style).
+      // Lane-loop: cur is read-only here and nxt's stores are disjoint.
       const std::uint32_t grid = grid_for<Granularity::Thread, C.pers>(dev, n);
       dev.launch(grid, kBD, [&](vcuda::Block& blk) {
-        blk.for_each_thread([&](vcuda::Thread& t) {
-          for_items<Granularity::Thread, C.pers>(
-              t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
-                nxt.st(t, v, cur.ld(t, v));
+        blk.for_each_warp([&](vcuda::WarpCtx& w) {
+          for_items_warp<C.pers>(
+              w, n, [&](vcuda::WarpCtx::Mask mask, std::uint32_t base) {
+                vcuda::LaneVec<std::uint32_t> vals;
+                cur.ld_warp_c(w, mask, base, vals.v);
+                nxt.st_warp_c(w, mask, base, vals.v);
               });
         });
       });
@@ -218,6 +234,11 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
       flag_h[0] = 0;
     }
     const std::uint32_t grid = grid_for<kGran, C.pers>(dev, items);
+    // The relaxation kernel stays on the per-lane compatibility path: its
+    // lanes read values sibling lanes may write (in-place relaxation,
+    // fetch-return-driven worklist pushes), so changing the lane interleave
+    // would change convergence behaviour — exactly what the scrambled
+    // per-lane order is calibrated for.
     dev.launch(grid, kBD, [&](vcuda::Block& blk) {
       blk.for_each_thread([&](vcuda::Thread& t) {
         for_items<kGran, C.pers>(
@@ -235,10 +256,14 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
         const std::uint32_t fill_grid =
             grid_for<Granularity::Thread, C.pers>(dev, all);
         dev.launch(fill_grid, kBD, [&](vcuda::Block& blk) {
-          blk.for_each_thread([&](vcuda::Thread& t) {
-            for_items<Granularity::Thread, C.pers>(
-                t, all, [&](std::uint32_t i, std::uint32_t, std::uint32_t) {
-                  wl_out.st(t, i, i);
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            for_items_warp<C.pers>(
+                w, all, [&](vcuda::WarpCtx::Mask mask, std::uint32_t base) {
+                  vcuda::LaneVec<std::uint32_t> iota;
+                  w.for_lanes(mask, [&](int l) {
+                    iota[l] = base + static_cast<std::uint32_t>(l);
+                  });
+                  wl_out.st_warp_c(w, mask, base, iota.v);
                 });
           });
         });

@@ -129,6 +129,27 @@ void for_items(vcuda::Thread& t, std::uint32_t items, Fn&& fn) {
   }
 }
 
+/// Lane-loop (de-SPMD) form of for_items<Granularity::Thread, P>: runs
+/// fn(mask, base) for every warp-wide batch of work items, where lane l of
+/// the batch owns item base + l and `mask` guards the `gidx < items` tail.
+/// Batch-for-batch this visits exactly the item set the per-lane loop
+/// visits (lane l of batch j has base + l == gidx + j * total_threads), so
+/// elementwise kernels migrate between the two forms without any accounting
+/// change. Only Thread granularity has a lane-loop form: warp/block
+/// granularity already strides one item's inner loop across lanes.
+template <Persistence P, typename Fn>
+void for_items_warp(vcuda::WarpCtx& w, std::uint32_t items, Fn&& fn) {
+  if constexpr (P == Persistence::Persistent) {
+    for (std::uint32_t base = w.gidx_base(); base < items;
+         base += w.total_threads()) {
+      fn(w.mask_first(items - base), base);
+    }
+  } else {
+    const std::uint32_t base = w.gidx_base();
+    if (base < items) fn(w.mask_first(items - base), base);
+  }
+}
+
 /// Default device used when RunOptions does not name one.
 const vcuda::DeviceSpec& default_device();
 

@@ -1,6 +1,38 @@
 #include "vcuda/device_spec.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace indigo::vcuda {
+
+void DeviceSpec::validate() const {
+  auto fail = [this](const char* field, const std::string& why) {
+    throw std::invalid_argument("DeviceSpec::" + std::string(field) + " " +
+                                why + " (spec '" + name + "')");
+  };
+  // Lane state (SoA arrays, divergence masks, the recorder arena) is sized
+  // for at most 64 lanes per warp.
+  if (warp_size < 1 || warp_size > 64)
+    fail("warp_size",
+         "must be in [1, 64], got " + std::to_string(warp_size));
+  // line_shift_ is a floor-log2; a non-power-of-two segment would silently
+  // coalesce against the wrong line size.
+  if (mem_transaction_bytes < 1 ||
+      (mem_transaction_bytes & (mem_transaction_bytes - 1)) != 0)
+    fail("mem_transaction_bytes",
+         "must be a positive power of two, got " +
+             std::to_string(mem_transaction_bytes));
+  if (num_sms < 1)
+    fail("num_sms", "must be positive, got " + std::to_string(num_sms));
+  if (max_threads_per_sm < 1)
+    fail("max_threads_per_sm",
+         "must be positive, got " + std::to_string(max_threads_per_sm));
+  if (!(clock_ghz > 0.0))
+    fail("clock_ghz", "must be positive, got " + std::to_string(clock_ghz));
+  if (!(mem_bandwidth_gbs > 0.0))
+    fail("mem_bandwidth_gbs",
+         "must be positive, got " + std::to_string(mem_bandwidth_gbs));
+}
 
 DeviceSpec rtx3090_like() {
   DeviceSpec s;

@@ -52,6 +52,15 @@ struct DeviceSpec {
     return static_cast<std::uint32_t>(num_sms) *
            static_cast<std::uint32_t>(max_threads_per_sm);
   }
+
+  /// Throws std::invalid_argument naming the offending field if the spec
+  /// violates a model invariant. Called once per Device construction so the
+  /// hot paths may rely on the invariants unconditionally — the checks are
+  /// NOT asserts, because the default build defines NDEBUG and a bad spec
+  /// would otherwise be silent UB (out-of-bounds lane arrays for
+  /// warp_size > 64, a wrong floor-log2 line shift for non-power-of-two
+  /// mem_transaction_bytes, division by zero in the roofline clock).
+  void validate() const;
 };
 
 /// Ampere-generation stand-in for the paper's RTX 3090 (82 SMs, 1.74 GHz,

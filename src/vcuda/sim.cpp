@@ -4,6 +4,8 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
@@ -26,19 +28,11 @@ void set_reference_model(bool on) {
 
 namespace detail {
 
-namespace {
-
-std::uint64_t mix_addr(std::uint64_t x) {
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
 void WarpRecorder::bind_spec(const DeviceSpec& spec) {
   spec_ = &spec;
   const auto ws = static_cast<std::size_t>(spec.warp_size);
+  // Guaranteed by DeviceSpec::validate() at Device construction (which,
+  // unlike this assert, is active in Release builds).
   assert(ws >= 1 && ws <= lane_cycles_.size());
   if (ws != stride_) {
     // Arena layout is keyed to the warp size; a spec with a different one
@@ -50,6 +44,8 @@ void WarpRecorder::bind_spec(const DeviceSpec& spec) {
   }
   line_shift_ = 63 - std::countl_zero(
                          static_cast<std::uint64_t>(spec.mem_transaction_bytes));
+  base_mask_ =
+      ~(static_cast<std::uint64_t>(spec.mem_transaction_bytes) - 1);
   // Exactly the per-kind sums the charging switch used to apply, computed
   // once so record() is branch-free on the kind.
   const auto at = [](AccessKind k) { return static_cast<std::size_t>(k); };
@@ -67,28 +63,6 @@ void WarpRecorder::bind_spec(const DeviceSpec& spec) {
   fence_charge_[at(AccessKind::CudaAtomicLdSt)] = spec.cudaatomic_ldst_cycles;
   fence_charge_[at(AccessKind::CudaAtomicRmw)] =
       spec.global_atomic_cycles * spec.cudaatomic_rmw_mult;
-}
-
-int WarpRecorder::dedup_into(const std::uint64_t* vals, int n,
-                             std::uint64_t* out) {
-  const std::uint64_t gen = ++stamp_counter_;
-  int d = 0;
-  for (int i = 0; i < n; ++i) {
-    const std::uint64_t v = vals[i];
-    // Fibonacci hash to a byte: spreads both consecutive lines and sparse
-    // scatters; collisions resolve by linear probing (load factor <= 1/4).
-    std::size_t s =
-        static_cast<std::size_t>((v * 0x9E3779B97F4A7C15ull) >> 56);
-    while (stamp_gen_[s] == gen && stamp_key_[s] != v) {
-      s = (s + 1) & (kStampSlots - 1);
-    }
-    if (stamp_gen_[s] != gen) {
-      stamp_gen_[s] = gen;
-      stamp_key_[s] = v;
-      out[d++] = v;
-    }
-  }
-  return d;
 }
 
 void WarpRecorder::grow(std::size_t need) {
@@ -234,6 +208,101 @@ void WarpRecorder::flush(Device& dev) {
 
 }  // namespace detail
 
+// --- WarpCtx: per-batch accounting back ends ------------------------------
+// The charging half (charge_and_collect, in sim.hpp) is shared by both
+// modes; only the address accounting differs. These run once per operation
+// batch (not per lane), so an out-of-line call is fine.
+
+void WarpCtx::fast_mem(const std::uint64_t* lines, int n) {
+  // Same analytic ladder as WarpRecorder::flush's fast path, applied
+  // directly to the batch instead of to an arena group at region end.
+  // Deliberately out of line: inlining this ladder into every *_warp call
+  // site bloats the divergent-loop kernels' inner loops past what the
+  // i-cache and register allocator of a small core tolerate (measured ~2x
+  // slowdown on the pull-style kernels); one call per BATCH is cheap.
+  dev_.add_mem_instructions(1);
+  // Sorted-ascending batches — gathers through monotone index vectors (edge
+  // cursors, CSR row offsets) and masked contiguous accesses — admit a
+  // one-pass adjacent-compare distinct count: equal lines sit next to each
+  // other, so the count of steps plus one IS the distinct count (the same
+  // integer the bitmap/dedup ladder produces). The sortedness flag rides
+  // along in the same pass; unsorted batches fall through to the ladder.
+  if (lines[0] <= lines[n - 1]) {
+    std::uint64_t d = 1;
+    bool sorted = true;
+    for (int i = 1; i < n; ++i) {
+      sorted &= lines[i] >= lines[i - 1];
+      d += lines[i] != lines[i - 1];
+    }
+    if (sorted) {
+      dev_.add_transactions(d);
+      return;
+    }
+  }
+  std::uint64_t line_min = lines[0];
+  std::uint64_t line_max = lines[0];
+  for (int i = 1; i < n; ++i) {
+    line_min = std::min(line_min, lines[i]);
+    line_max = std::max(line_max, lines[i]);
+  }
+  const std::uint64_t width = line_max - line_min + 1;
+  if (width == 1) {
+    dev_.add_transactions(1);
+  } else if (width <= 64) {
+    std::uint64_t occupied = 0;
+    for (int i = 0; i < n; ++i) {
+      occupied |= std::uint64_t{1} << (lines[i] - line_min);
+    }
+    dev_.add_transactions(static_cast<std::uint64_t>(std::popcount(occupied)));
+  } else {
+    std::uint64_t distinct[kMaxLanes];
+    dev_.add_transactions(
+        static_cast<std::uint64_t>(rec_.dedup_into(lines, n, distinct)));
+  }
+}
+
+void WarpCtx::fast_chain(const std::uint64_t* addrs, int n, bool rmw) {
+  const DeviceSpec& spec = *rec_.spec_;
+  const double unit = spec.same_address_atomic_cycles *
+                      (rmw ? spec.cudaatomic_rmw_mult : 1.0);
+  bool uniform = true;
+  for (int i = 1; i < n; ++i) uniform &= addrs[i] == addrs[0];
+  if (uniform) {
+    dev_.note_atomic_chain(detail::mix_addr(addrs[0]), unit, rec_.owner_);
+    dev_.add_transactions(1);
+    return;
+  }
+  std::uint64_t distinct[kMaxLanes];
+  const int d = rec_.dedup_into(addrs, n, distinct);
+  for (int j = 0; j < d; ++j) {
+    dev_.note_atomic_chain(detail::mix_addr(distinct[j]), unit, rec_.owner_);
+  }
+  dev_.add_transactions(static_cast<std::uint64_t>(d));
+}
+
+void WarpCtx::ref_store_mem(const std::uint64_t* lines, int n) {
+  // One batch = one arena group, exactly as if each active lane had
+  // record()ed at the same program point; flush's legacy per-group scan
+  // then produces the reference accounting.
+  auto& r = rec_;
+  const std::size_t gi = r.op_index_++;
+  if (gi >= r.group_cap_) r.grow(gi + 1);
+  std::memcpy(r.addrs_.data() + gi * r.stride_, lines,
+              static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+  r.group_info_[gi] = static_cast<std::uint16_t>(n);
+}
+
+void WarpCtx::ref_store_chain(const std::uint64_t* addrs, int n, bool rmw) {
+  auto& r = rec_;
+  const std::size_t gi = r.op_index_++;
+  if (gi >= r.group_cap_) r.grow(gi + 1);
+  // Chain atomics occupy the back of the group, as in record().
+  std::memcpy(r.addrs_.data() + (gi + 1) * r.stride_ - n, addrs,
+              static_cast<std::size_t>(n) * sizeof(std::uint64_t));
+  r.group_info_[gi] =
+      static_cast<std::uint16_t>((n << 7) | (rmw ? 0x8000 : 0));
+}
+
 Block::Block(Device& dev, std::uint32_t bdim, std::uint32_t gdim)
     : dev_(dev), rc_(dev.racecheck_checker()), bdim_(bdim), gdim_(gdim),
       warp_size_(dev.spec().warp_size) {
@@ -295,6 +364,9 @@ void Block::end_block() {
 Device::Device(const DeviceSpec& spec)
     : spec_(spec), hotspot_(4096, 0.0), hotspot_owner_(4096, 0),
       hotspot_epoch_(4096, 0), ref_(reference_model()) {
+  // Throwing validation (not an assert — NDEBUG builds must reject bad
+  // specs too): everything downstream relies on these invariants.
+  spec_.validate();
   if (racecheck::enabled()) {
     rc_ = std::make_unique<racecheck::VcudaChecker>();
   }
@@ -304,45 +376,17 @@ Device::~Device() {
   if (rc_) rc_->finalize();
 }
 
-void Device::note_atomic_chain(std::uint64_t hashed_addr, double cycles,
-                               std::uint32_t owner) {
-  const std::size_t slot = hashed_addr & (hotspot_.size() - 1);
-  ++stats_.atomic_ops;
-  // A conflict is contention: a different warp hit this address earlier in
-  // the launch. One warp re-touching its own address (e.g. a pull-style
-  // thread relaxing its own vertex once per in-edge) serializes only with
-  // itself and is not counted.
-  const std::uint32_t tagged = owner + 1;  // 0 = never hit
-  if (ref_) {
-    hotspot_[slot] += cycles;
-    if (hotspot_owner_[slot] != 0 && hotspot_owner_[slot] != tagged) {
-      ++stats_.atomic_conflicts;
-    }
-    hotspot_owner_[slot] = tagged;
-    return;
-  }
-  // Epoch tagging: a slot whose epoch is stale was not touched this launch,
-  // so it logically holds (cycles 0, owner never-hit). 0 + cycles == cycles
-  // exactly, so lazily materializing the zero is bit-identical to the
-  // memset the reference path performs.
-  double chain;
-  if (hotspot_epoch_[slot] != launch_epoch_) {
-    hotspot_epoch_[slot] = launch_epoch_;
-    chain = cycles;
-  } else {
-    chain = hotspot_[slot] + cycles;
-    // A live slot was necessarily written by some warp this launch, so the
-    // legacy owner != 0 guard is implied.
-    if (hotspot_owner_[slot] != tagged) ++stats_.atomic_conflicts;
-  }
-  hotspot_owner_[slot] = tagged;
-  hotspot_[slot] = chain;
-  // Chains only grow within a launch, so a running max over the updates
-  // equals the reference path's final full-table scan bit-for-bit.
-  if (chain > hot_max_) hot_max_ = chain;
-}
-
 void Device::begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim) {
+  // CUDA launch-configuration limits; formerly an assert, which Release
+  // builds (NDEBUG) compiled out, leaving zero-lane warps and nonsense
+  // occupancy silently possible.
+  if (block_dim < 1 || block_dim > 1024)
+    throw std::invalid_argument(
+        "vcuda::Device::launch: block_dim must be in [1, 1024], got " +
+        std::to_string(block_dim));
+  if (grid_dim < 1)
+    throw std::invalid_argument(
+        "vcuda::Device::launch: grid_dim must be >= 1, got 0");
   if (rc_) rc_->on_launch_begin();
   stats_.reset();
   if (ref_) {

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -38,6 +39,21 @@ namespace indigo::vcuda {
 class Device;
 class Block;
 class Thread;
+class WarpCtx;
+
+/// Upper bound on DeviceSpec::warp_size (enforced by DeviceSpec::validate):
+/// lane state fits fixed SoA arrays and divergence masks fit one 64-bit word.
+inline constexpr int kMaxLanes = 64;
+
+/// Per-lane SoA scratch for lane-loop kernels: one cache-line-aligned slot
+/// per lane, indexed by lane id. Plain aggregate — intentionally left
+/// uninitialized; kernels only read lanes they masked in.
+template <typename T>
+struct LaneVec {
+  alignas(64) T v[kMaxLanes];
+  [[nodiscard]] T& operator[](int lane) { return v[lane]; }
+  [[nodiscard]] const T& operator[](int lane) const { return v[lane]; }
+};
 
 /// How an access is charged. CudaAtomic* model libcu++ cuda::atomic with
 /// its DEFAULT template arguments (system scope, seq_cst) per paper 2.9.
@@ -119,6 +135,14 @@ inline std::uint32_t coprime_step(std::uint32_t n) {
   return step % n == 0 ? 1 : step % n;
 }
 
+/// SplitMix64 finalizer: decorrelates host heap addresses before they index
+/// the hotspot table (atomic-chain identity is the hashed address).
+inline std::uint64_t mix_addr(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Per-warp recorder for the current region. Lane accesses are grouped by
 /// per-lane program-point index; aligned groups model one SIMT instruction.
 ///
@@ -155,7 +179,17 @@ class WarpRecorder {
     if (lane + 1 > active_lanes_) active_lanes_ = lane + 1;
   }
 
+  /// Lane-loop regions know their lane population up front (every lane of
+  /// the warp participates in the region, masks gate individual batches),
+  /// so they set it once instead of tracking a per-lane running max.
+  void set_active_lanes(int lanes) { active_lanes_ = lanes; }
+
   void charge(double cycles) { lane_cycles_[lane_] += cycles; }
+
+  /// Buffer bases are aligned down to the spec's transaction size before
+  /// coalescing (cudaMalloc returns transaction-aligned pointers; host
+  /// buffers are not). Derived from mem_transaction_bytes in bind_spec.
+  [[nodiscard]] std::uint64_t base_mask() const { return base_mask_; }
 
   // Every caller passes a compile-time-constant `kind` (the DeviceArray
   // accessors inline down to here), so the kind branches below fold away
@@ -194,13 +228,36 @@ class WarpRecorder {
   void flush(Device& dev);
 
  private:
+  // WarpCtx is the lane-batched (de-SPMD) front end of this recorder: it
+  // charges lanes and fills arena groups a warp-batch at a time.
+  friend class ::indigo::vcuda::WarpCtx;
+
   void bind_spec(const DeviceSpec& spec);  // charge tables + arena stride
   void grow(std::size_t need);             // cold path: enlarge the arena
   /// Exact first-occurrence dedup of n (<= warp_size) values via a
   /// generation-stamped open-addressing table: O(n) expected, no sort, no
   /// per-call clearing. Writes the distinct values to `out`, returns their
-  /// count.
-  int dedup_into(const std::uint64_t* vals, int n, std::uint64_t* out);
+  /// count. Inline: runs once per scattered batch/group on the hot path.
+  int dedup_into(const std::uint64_t* vals, int n, std::uint64_t* out) {
+    const std::uint64_t gen = ++stamp_counter_;
+    int d = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t v = vals[i];
+      // Fibonacci hash to a byte: spreads both consecutive lines and sparse
+      // scatters; collisions resolve by linear probing (load factor <= 1/4).
+      std::size_t s =
+          static_cast<std::size_t>((v * 0x9E3779B97F4A7C15ull) >> 56);
+      while (stamp_gen_[s] == gen && stamp_key_[s] != v) {
+        s = (s + 1) & (kStampSlots - 1);
+      }
+      if (stamp_gen_[s] != gen) {
+        stamp_gen_[s] = gen;
+        stamp_key_[s] = v;
+        out[d++] = v;
+      }
+    }
+    return d;
+  }
 
   static constexpr std::size_t kKinds = 5;
   static constexpr std::size_t kStampSlots = 256;  // >= 4x max group size
@@ -216,6 +273,7 @@ class WarpRecorder {
   std::size_t group_cap_ = 0;
   std::size_t stride_ = 0;  // = warp_size while bound to a spec
   int line_shift_ = 7;      // log2(mem_transaction_bytes), from bind_spec
+  std::uint64_t base_mask_ = ~std::uint64_t{127};  // from bind_spec
   std::size_t used_groups_ = 0;
   std::size_t op_index_ = 0;
   std::array<double, kKinds> lane_charge_{};   // lane cycles per kind
@@ -259,9 +317,9 @@ class Thread {
   void record(const void* base, std::size_t index, std::size_t elem_size,
               AccessKind kind) {
     // Device allocations are transaction-aligned on real hardware; align
-    // the host buffer's base down so coalescing groups see the layout a
-    // cudaMalloc'd array would have.
-    const auto b = reinterpret_cast<std::uint64_t>(base) & ~std::uint64_t{127};
+    // the host buffer's base down to the spec's transaction size so
+    // coalescing groups see the layout a cudaMalloc'd array would have.
+    const auto b = reinterpret_cast<std::uint64_t>(base) & rec_.base_mask();
     rec_.record(b + index * elem_size, kind);
   }
 
@@ -299,6 +357,151 @@ int delta_sign(const T& oldv, const T& newv) {
   return newv < oldv ? -1 : (oldv < newv ? 1 : 0);
 }
 }  // namespace detail
+
+/// Handle to one simulated warp, valid inside Block::for_each_warp — the
+/// lane-vectorized ("de-SPMD") sibling of Thread/for_each_thread.
+///
+/// A lane-loop kernel body runs once per WARP and steps its lanes through
+/// the kernel one operation batch at a time: per-lane scalar state (indices,
+/// accumulators) lives in LaneVec SoA arrays indexed by lane, divergence is
+/// a 64-bit active-mask word per batch instead of per-lane control flow, and
+/// each DeviceArray *_warp accessor records and charges a whole lane batch
+/// with one WarpRecorder interaction. The inner lane loops are tight,
+/// branch-free over flat arrays — the compiler can vectorize them — which is
+/// where the interpreter's throughput comes from.
+///
+/// Execution semantics are stage-major true lockstep: batch k of every lane
+/// completes before batch k+1 of any lane. That is exactly hardware SIMT
+/// order (and strictly closer to it than for_each_thread's scrambled
+/// per-lane approximation), and it is deterministic. The timing model is
+/// unchanged: one batch == one SIMT instruction group, charged through the
+/// same per-kind tables, coalescing and atomic-chain rules as the per-lane
+/// path. In reference mode batches are staged into the legacy arena and
+/// flushed through the legacy per-group algorithms, so the golden dual-path
+/// test proves the batched analytic accounting bit-identical.
+class WarpCtx {
+ public:
+  /// Active-lane set for one operation batch; bit l = lane l participates.
+  using Mask = std::uint64_t;
+
+  [[nodiscard]] std::uint32_t block_idx() const { return bidx_; }
+  [[nodiscard]] std::uint32_t block_dim() const { return bdim_; }
+  [[nodiscard]] std::uint32_t grid_dim() const { return gdim_; }
+  [[nodiscard]] std::uint32_t total_threads() const { return gdim_ * bdim_; }
+  /// Lanes in this warp (== warp_size except for a tail warp).
+  [[nodiscard]] int width() const { return width_; }
+  /// Mask with every lane of this warp active.
+  [[nodiscard]] Mask full() const { return full_; }
+  /// threadIdx.x of lane l.
+  [[nodiscard]] std::uint32_t tid(int lane) const {
+    return lo_ + static_cast<std::uint32_t>(lane);
+  }
+  /// gidx of lane 0; lane l's gidx is gidx_base() + l (lanes are
+  /// id-contiguous within a warp).
+  [[nodiscard]] std::uint32_t gidx_base() const {
+    return bidx_ * bdim_ + lo_;
+  }
+  [[nodiscard]] std::uint32_t gidx(int lane) const {
+    return gidx_base() + static_cast<std::uint32_t>(lane);
+  }
+
+  /// The first min(k, width) lanes — the `gidx < n` guard mask for
+  /// elementwise kernels (k = items still ahead of gidx_base()).
+  [[nodiscard]] Mask mask_first(std::uint64_t k) const {
+    const int n = static_cast<int>(
+        std::min<std::uint64_t>(k, static_cast<std::uint64_t>(width_)));
+    return n >= 64 ? ~Mask{0} : (Mask{1} << n) - 1;
+  }
+
+  /// Refines m to the lanes where pred(lane) holds — the mask form of an
+  /// if/while condition.
+  template <typename P>
+  [[nodiscard]] Mask where(Mask m, P&& pred) const {
+    Mask out = 0;
+    for (Mask mm = m; mm != 0; mm &= mm - 1) {
+      const int l = std::countr_zero(mm);
+      if (pred(l)) out |= Mask{1} << l;
+    }
+    return out;
+  }
+
+  /// Runs f(lane) for every active lane, in ascending lane order.
+  template <typename F>
+  void for_lanes(Mask m, F&& f) const {
+    for (Mask mm = m; mm != 0; mm &= mm - 1) f(std::countr_zero(mm));
+  }
+
+  /// Explicit per-lane ALU charge for the active lanes (Thread::work).
+  void work(Mask m, double alu_ops) {
+    if ((m & (m + 1)) == 0) {  // prefix mask: active lanes are [0, n)
+      const int n = static_cast<int>(std::bit_width(m));
+      for (int l = 0; l < n; ++l) rec_.lane_cycles_[l] += alu_ops;
+    } else {
+      for_lanes(m, [&](int l) { rec_.lane_cycles_[l] += alu_ops; });
+    }
+  }
+
+  // Racecheck hooks (true element addresses, like Thread's).
+  [[nodiscard]] bool race_on() const { return rc_ != nullptr; }
+  void race_read(int lane, const void* elem, bool atomic) {
+    if (rc_ != nullptr) rc_->read(elem, bidx_, tid(lane), atomic);
+  }
+  void race_write(int lane, const void* elem, bool atomic, int delta_sign) {
+    if (rc_ != nullptr) rc_->write(elem, bidx_, tid(lane), atomic, delta_sign);
+  }
+
+  // --- batched recording (DeviceArray *_warp accessors; not for kernels) --
+  // One call = one operation batch = one SIMT instruction group: charges
+  // every active lane from the per-kind tables (and the fence pool for
+  // cuda::atomic kinds) in ascending lane order, then accounts the batch's
+  // addresses — staged into the legacy arena group in reference mode,
+  // analytically (min/max window, bitmap popcount, stamp dedup, uniform
+  // short-circuit) in fast mode. Bodies live below Device.
+  template <AccessKind K, typename Idx>
+  void record_gather(Mask m, const void* base, std::size_t esz,
+                     const Idx* idx);
+  /// Contiguous batch: lane l accesses element first + l. O(1) coalescing
+  /// on the fast path for the dominant dense-prefix case.
+  template <AccessKind K>
+  void record_contig(Mask m, const void* base, std::size_t esz,
+                     std::uint64_t first);
+
+ private:
+  friend class Block;
+
+  WarpCtx(Device& dev, detail::WarpRecorder& rec, racecheck::VcudaChecker* rc,
+          std::uint32_t bidx, std::uint32_t bdim, std::uint32_t gdim)
+      : dev_(dev), rec_(rec), rc_(rc), bidx_(bidx), bdim_(bdim), gdim_(gdim) {}
+
+  void reset_warp(std::uint32_t lo, int width) {
+    lo_ = lo;
+    width_ = width;
+    full_ = width >= 64 ? ~Mask{0} : (Mask{1} << width) - 1;
+  }
+
+  // Per-kind lane charges for one batch, shared verbatim by reference and
+  // fast modes so every double accumulates in the same sequence. Returns the
+  // batch's compacted per-lane values (addresses for chain-atomic kinds,
+  // transaction lines otherwise) in tmp[0, n); n = popcount(m).
+  template <AccessKind K, typename AddrOf>
+  int charge_and_collect(Mask m, AddrOf&& addr_of, std::uint64_t* tmp);
+
+  // Fast-mode analytic accounting over one batch's compacted values.
+  void fast_mem(const std::uint64_t* lines, int n);
+  void fast_chain(const std::uint64_t* addrs, int n, bool rmw);
+  // Reference-mode staging: the batch becomes the next arena group, exactly
+  // as if each lane had record()ed at the same program point.
+  void ref_store_mem(const std::uint64_t* lines, int n);
+  void ref_store_chain(const std::uint64_t* addrs, int n, bool rmw);
+
+  Device& dev_;
+  detail::WarpRecorder& rec_;
+  racecheck::VcudaChecker* rc_;
+  std::uint32_t bidx_, bdim_, gdim_;
+  std::uint32_t lo_ = 0;  // threadIdx.x of lane 0
+  int width_ = 0;
+  Mask full_ = 0;
+};
 
 /// A global-memory array. All element access goes through a Thread so the
 /// simulator can account for it. The simulator executes sequentially, so
@@ -398,6 +601,204 @@ class DeviceArray {
     return old;
   }
 
+  // --- lane-batched accessors (lane-loop kernels; see WarpCtx) ------------
+  // One call performs the operation for every lane in `m` as one SIMT
+  // instruction group. The functional lane loops are split from the race
+  // hooks so the default timing configuration runs tight vectorizable loops
+  // over the SoA arrays. Stores and atomics apply in ascending lane order
+  // (deterministic; within one hardware instruction lane order is
+  // unspecified anyway).
+
+  /// out[l] = data[idx[l]] for every active lane.
+  template <typename Idx>
+  void ld_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx, T* out) const {
+    w.template record_gather<AccessKind::Load>(m, data_.data(), sizeof(T),
+                                               idx);
+    if ((m & (m + 1)) == 0) {  // prefix mask: active lanes are [0, n)
+      const int n = static_cast<int>(std::bit_width(m));
+      for (int l = 0; l < n; ++l) out[l] = data_[idx[l]];
+    } else {
+      w.for_lanes(m, [&](int l) { out[l] = data_[idx[l]]; });
+    }
+    if (w.race_on())
+      w.for_lanes(m, [&](int l) { w.race_read(l, &data_[idx[l]], false); });
+  }
+  /// out[l] = data[first + l] for every active lane.
+  void ld_warp_c(WarpCtx& w, WarpCtx::Mask m, std::uint64_t first,
+                 T* out) const {
+    w.template record_contig<AccessKind::Load>(m, data_.data(), sizeof(T),
+                                               first);
+    if ((m & (m + 1)) == 0) {
+      const int n = static_cast<int>(std::bit_width(m));
+      for (int l = 0; l < n; ++l)
+        out[l] = data_[first + static_cast<std::uint64_t>(l)];
+    } else {
+      w.for_lanes(m, [&](int l) { out[l] = data_[first + l]; });
+    }
+    if (w.race_on())
+      w.for_lanes(m, [&](int l) { w.race_read(l, &data_[first + l], false); });
+  }
+
+  /// data[idx[l]] = val[l] for every active lane.
+  template <typename Idx>
+  void st_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+               const T* val) const {
+    w.template record_gather<AccessKind::Store>(m, data_.data(), sizeof(T),
+                                                idx);
+    if (!w.race_on()) {
+      if ((m & (m + 1)) == 0) {
+        const int n = static_cast<int>(std::bit_width(m));
+        for (int l = 0; l < n; ++l) data_[idx[l]] = val[l];
+      } else {
+        w.for_lanes(m, [&](int l) { data_[idx[l]] = val[l]; });
+      }
+    } else {
+      // Hook-then-store per lane, like the scalar path: delta_sign must see
+      // the value this lane's store overwrites.
+      w.for_lanes(m, [&](int l) {
+        w.race_write(l, &data_[idx[l]], false,
+                     detail::delta_sign(data_[idx[l]], val[l]));
+        data_[idx[l]] = val[l];
+      });
+    }
+  }
+  /// data[first + l] = val[l] for every active lane.
+  void st_warp_c(WarpCtx& w, WarpCtx::Mask m, std::uint64_t first,
+                 const T* val) const {
+    w.template record_contig<AccessKind::Store>(m, data_.data(), sizeof(T),
+                                                first);
+    if (!w.race_on()) {
+      if ((m & (m + 1)) == 0) {
+        const int n = static_cast<int>(std::bit_width(m));
+        for (int l = 0; l < n; ++l)
+          data_[first + static_cast<std::uint64_t>(l)] = val[l];
+      } else {
+        w.for_lanes(m, [&](int l) { data_[first + l] = val[l]; });
+      }
+    } else {
+      w.for_lanes(m, [&](int l) {
+        w.race_write(l, &data_[first + l], false,
+                     detail::delta_sign(data_[first + l], val[l]));
+        data_[first + l] = val[l];
+      });
+    }
+  }
+  /// data[first + l] = v (broadcast) for every active lane.
+  void st_warp_cv(WarpCtx& w, WarpCtx::Mask m, std::uint64_t first,
+                  T v) const {
+    w.template record_contig<AccessKind::Store>(m, data_.data(), sizeof(T),
+                                                first);
+    if (!w.race_on()) {
+      if ((m & (m + 1)) == 0) {
+        const int n = static_cast<int>(std::bit_width(m));
+        for (int l = 0; l < n; ++l)
+          data_[first + static_cast<std::uint64_t>(l)] = v;
+      } else {
+        w.for_lanes(m, [&](int l) { data_[first + l] = v; });
+      }
+    } else {
+      w.for_lanes(m, [&](int l) {
+        w.race_write(l, &data_[first + l], false,
+                     detail::delta_sign(data_[first + l], v));
+        data_[first + l] = v;
+      });
+    }
+  }
+
+  /// atomicMin on data[idx[l]] with val[l]; old values to `old` if non-null.
+  template <typename Idx>
+  void atomic_min_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                       const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::Atomic>(m, data_.data(), sizeof(T),
+                                                 idx);
+    w.for_lanes(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, val[l] < o ? -1 : 0);
+      if (val[l] < o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void atomic_max_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                       const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::Atomic>(m, data_.data(), sizeof(T),
+                                                 idx);
+    w.for_lanes(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, o < val[l] ? 1 : 0);
+      if (val[l] > o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void atomic_add_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                       const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::Atomic>(m, data_.data(), sizeof(T),
+                                                 idx);
+    w.for_lanes(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on())
+        w.race_write(l, &tgt, true,
+                     detail::delta_sign(o, static_cast<T>(o + val[l])));
+      tgt = o + val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+
+  /// cuda::atomic load/fetch ops, lane-batched (fence-charged kinds).
+  template <typename Idx>
+  void ald_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx, T* out) const {
+    w.template record_gather<AccessKind::CudaAtomicLdSt>(m, data_.data(),
+                                                         sizeof(T), idx);
+    w.for_lanes(m, [&](int l) {
+      if (w.race_on()) w.race_read(l, &data_[idx[l]], true);
+      out[l] = data_[idx[l]];
+    });
+  }
+  template <typename Idx>
+  void ast_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                const T* val) const {
+    w.template record_gather<AccessKind::CudaAtomicLdSt>(m, data_.data(),
+                                                         sizeof(T), idx);
+    w.for_lanes(m, [&](int l) {
+      if (w.race_on())
+        w.race_write(l, &data_[idx[l]], true,
+                     detail::delta_sign(data_[idx[l]], val[l]));
+      data_[idx[l]] = val[l];
+    });
+  }
+  template <typename Idx>
+  void afetch_min_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                       const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, data_.data(),
+                                                        sizeof(T), idx);
+    w.for_lanes(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, val[l] < o ? -1 : 0);
+      if (val[l] < o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void afetch_add_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                       const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, data_.data(),
+                                                        sizeof(T), idx);
+    w.for_lanes(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on())
+        w.race_write(l, &tgt, true,
+                     detail::delta_sign(o, static_cast<T>(o + val[l])));
+      tgt = o + val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+
  private:
   std::span<T> data_;
 };
@@ -445,6 +846,31 @@ class Block {
         li += lstep;
         if (li >= count) li -= count;
       }
+      rec_.flush(dev_);
+      w += step;
+      if (w >= warps) w -= warps;
+    }
+  }
+
+  /// Lane-loop sibling of for_each_thread: runs `fn(WarpCtx&)` once per
+  /// warp of the block (same scrambled warp order, same region accounting).
+  /// The kernel body steps all lanes together batch-by-batch (true SIMT
+  /// lockstep) instead of one lane at a time — see WarpCtx. Mixing Thread
+  /// and WarpCtx recording within one region is not supported.
+  template <typename F>
+  void for_each_warp(F&& fn) {
+    const auto ws = static_cast<std::uint32_t>(warp_size_);
+    const std::uint32_t warps = (bdim_ + ws - 1) / ws;
+    const std::uint32_t step = warp_step_;
+    std::uint32_t w = 0;
+    WarpCtx ctx(dev_, rec_, rc_, bidx_, bdim_, gdim_);
+    for (std::uint32_t k = 0; k < warps; ++k) {
+      rec_.begin(spec(), bidx_ * warps + w);
+      const std::uint32_t lo = w * ws;
+      const std::uint32_t count = std::min(bdim_, (w + 1) * ws) - lo;
+      rec_.set_active_lanes(static_cast<int>(count));
+      ctx.reset_warp(lo, static_cast<int>(count));
+      fn(ctx);
       rec_.flush(dev_);
       w += step;
       if (w >= warps) w -= warps;
@@ -538,7 +964,8 @@ class Device {
   /// the non-deterministic styles stay realistic.
   template <typename BlockFn>
   void launch(std::uint32_t grid_dim, std::uint32_t block_dim, BlockFn&& fn) {
-    assert(block_dim > 0 && block_dim <= 1024);
+    // Dimension validation (throwing, active in Release builds) happens in
+    // begin_launch before any block state is constructed.
     begin_launch(grid_dim, block_dim);
     Block blk(*this, block_dim, grid_dim);
     const std::uint32_t step = detail::coprime_step(grid_dim);
@@ -595,8 +1022,45 @@ class Device {
     stats_.lane_cycles += useful;
     stats_.lockstep_cycles += lockstep;
   }
-  void note_atomic_chain(std::uint64_t addr, double cycles,
-                         std::uint32_t owner);
+  /// Adds one warp-aggregated atomic unit to `addr`'s serialization chain.
+  /// Inline: called once per distinct address of every atomic batch/group.
+  void note_atomic_chain(std::uint64_t hashed_addr, double cycles,
+                         std::uint32_t owner) {
+    const std::size_t slot = hashed_addr & (hotspot_.size() - 1);
+    ++stats_.atomic_ops;
+    // A conflict is contention: a different warp hit this address earlier in
+    // the launch. One warp re-touching its own address (e.g. a pull-style
+    // thread relaxing its own vertex once per in-edge) serializes only with
+    // itself and is not counted.
+    const std::uint32_t tagged = owner + 1;  // 0 = never hit
+    if (ref_) {
+      hotspot_[slot] += cycles;
+      if (hotspot_owner_[slot] != 0 && hotspot_owner_[slot] != tagged) {
+        ++stats_.atomic_conflicts;
+      }
+      hotspot_owner_[slot] = tagged;
+      return;
+    }
+    // Epoch tagging: a slot whose epoch is stale was not touched this
+    // launch, so it logically holds (cycles 0, owner never-hit). 0 + cycles
+    // == cycles exactly, so lazily materializing the zero is bit-identical
+    // to the memset the reference path performs.
+    double chain;
+    if (hotspot_epoch_[slot] != launch_epoch_) {
+      hotspot_epoch_[slot] = launch_epoch_;
+      chain = cycles;
+    } else {
+      chain = hotspot_[slot] + cycles;
+      // A live slot was necessarily written by some warp this launch, so
+      // the legacy owner != 0 guard is implied.
+      if (hotspot_owner_[slot] != tagged) ++stats_.atomic_conflicts;
+    }
+    hotspot_owner_[slot] = tagged;
+    hotspot_[slot] = chain;
+    // Chains only grow within a launch, so a running max over the updates
+    // equals the reference path's final full-table scan bit-for-bit.
+    if (chain > hot_max_) hot_max_ = chain;
+  }
   void note_block_atomic() {
     ++stats_.atomic_ops;
     ++stats_.block_atomic_ops;
@@ -629,5 +1093,130 @@ class Device {
   double elapsed_s_ = 0;
   std::uint64_t launches_ = 0;
 };
+
+// --- WarpCtx batched recording (needs the complete Device) ----------------
+
+template <AccessKind K, typename AddrOf>
+inline int WarpCtx::charge_and_collect(Mask m, AddrOf&& value_of,
+                                       std::uint64_t* tmp) {
+  const auto k = static_cast<std::size_t>(K);
+  const double c = rec_.lane_charge_[k];
+  constexpr bool kFence =
+      K == AccessKind::CudaAtomicLdSt || K == AccessKind::CudaAtomicRmw;
+  if ((m & (m + 1)) == 0) {
+    // Prefix mask (full warps and `gidx < n` guard tails — the common
+    // cases): active lanes are exactly [0, n), so dense loops the compiler
+    // can vectorize — no mask scan at all. Same lanes in the same ascending
+    // order as the scan below, so the charges land bit-identically.
+    const int n = static_cast<int>(std::bit_width(m));
+    for (int l = 0; l < n; ++l) {
+      rec_.lane_cycles_[l] += c;
+      tmp[l] = value_of(l);
+    }
+    if constexpr (kFence) {
+      const double f = rec_.fence_charge_[k];
+      for (int l = 0; l < n; ++l) rec_.fence_cycles_ += f;
+    }
+    return n;
+  }
+  int n = 0;
+  for (Mask mm = m; mm != 0; mm &= mm - 1) {
+    const int l = std::countr_zero(mm);
+    rec_.lane_cycles_[l] += c;
+    if constexpr (kFence) rec_.fence_cycles_ += rec_.fence_charge_[k];
+    tmp[n++] = value_of(l);
+  }
+  return n;
+}
+
+template <AccessKind K, typename Idx>
+inline void WarpCtx::record_gather(Mask m, const void* base, std::size_t esz,
+                                   const Idx* idx) {
+  if (m == 0) return;
+  constexpr bool kChain =
+      K == AccessKind::Atomic || K == AccessKind::CudaAtomicRmw;
+  const std::uint64_t b =
+      reinterpret_cast<std::uint64_t>(base) & rec_.base_mask_;
+  alignas(64) std::uint64_t tmp[kMaxLanes];
+  if constexpr (kChain) {
+    const int n = charge_and_collect<K>(
+        m,
+        [&](int l) { return b + static_cast<std::uint64_t>(idx[l]) * esz; },
+        tmp);
+    if (dev_.reference_mode())
+      ref_store_chain(tmp, n, K == AccessKind::CudaAtomicRmw);
+    else
+      fast_chain(tmp, n, K == AccessKind::CudaAtomicRmw);
+  } else {
+    const int sh = rec_.line_shift_;
+    const int n = charge_and_collect<K>(
+        m,
+        [&](int l) {
+          return (b + static_cast<std::uint64_t>(idx[l]) * esz) >> sh;
+        },
+        tmp);
+    if (dev_.reference_mode())
+      ref_store_mem(tmp, n);
+    else
+      fast_mem(tmp, n);
+  }
+}
+
+template <AccessKind K>
+inline void WarpCtx::record_contig(Mask m, const void* base, std::size_t esz,
+                                   std::uint64_t first) {
+  if (m == 0) return;
+  constexpr bool kChain =
+      K == AccessKind::Atomic || K == AccessKind::CudaAtomicRmw;
+  const std::uint64_t b =
+      reinterpret_cast<std::uint64_t>(base) & rec_.base_mask_;
+  const std::uint64_t a0 = b + first * esz;
+  alignas(64) std::uint64_t tmp[kMaxLanes];
+  if constexpr (kChain) {
+    const int n = charge_and_collect<K>(
+        m,
+        [&](int l) { return a0 + static_cast<std::uint64_t>(l) * esz; },
+        tmp);
+    if (dev_.reference_mode())
+      ref_store_chain(tmp, n, K == AccessKind::CudaAtomicRmw);
+    else
+      fast_chain(tmp, n, K == AccessKind::CudaAtomicRmw);
+    return;
+  }
+  const int sh = rec_.line_shift_;
+  // Dense-prefix shortcut: a prefix mask over ascending addresses stepping
+  // by esz <= transaction size touches every line between the first and
+  // last exactly once, so the distinct count is the O(1) window width —
+  // same integer the bitmap/dedup paths would produce. No per-lane address
+  // ladder at all: charge the [0, n) prefix densely and read the window off
+  // the first and last lane's line.
+  if ((m & (m + 1)) == 0 && esz <= (std::uint64_t{1} << sh) &&
+      !dev_.reference_mode()) {
+    const int n = static_cast<int>(std::bit_width(m));
+    const auto k = static_cast<std::size_t>(K);
+    const double c = rec_.lane_charge_[k];
+    for (int l = 0; l < n; ++l) rec_.lane_cycles_[l] += c;
+    if constexpr (K == AccessKind::CudaAtomicLdSt) {
+      const double f = rec_.fence_charge_[k];
+      for (int l = 0; l < n; ++l) rec_.fence_cycles_ += f;
+    }
+    dev_.add_mem_instructions(1);
+    dev_.add_transactions(
+        ((a0 + static_cast<std::uint64_t>(n - 1) * esz) >> sh) - (a0 >> sh) +
+        1);
+    return;
+  }
+  const int n = charge_and_collect<K>(
+      m,
+      [&](int l) {
+        return (a0 + static_cast<std::uint64_t>(l) * esz) >> sh;
+      },
+      tmp);
+  if (dev_.reference_mode()) {
+    ref_store_mem(tmp, n);
+    return;
+  }
+  fast_mem(tmp, n);
+}
 
 }  // namespace indigo::vcuda

@@ -6,6 +6,7 @@
 // path, on fresh Devices, and compares raw double bits.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <span>
@@ -208,6 +209,182 @@ TEST(SimGolden, RealVariantsEndToEnd) {
     ++checked;
   }
   EXPECT_GT(checked, 0u);
+}
+
+// --- lane-loop (de-SPMD) engine ---------------------------------------------
+// The batched WarpCtx engine must agree with the per-lane Thread engine to
+// the last bit: the paper's modeled numbers are not allowed to move because
+// a kernel was rewritten in the vectorizable style. The per-lane tests above
+// double as coverage for kernels kept on the for_each_thread compat path.
+
+/// One elementwise round, per-lane style: guarded contiguous load, ALU work,
+/// scattered distinct-address atomic add, contiguous store.
+void elementwise_per_lane(Device& dev, std::uint32_t n,
+                          std::span<std::uint32_t> in,
+                          std::span<std::uint32_t> out,
+                          std::span<std::uint32_t> ctr) {
+  auto src = dev.array(in);
+  auto dst = dev.array(out);
+  auto cnt = dev.array(ctr);
+  dev.launch(4, 256, [&](Block& blk) {
+    blk.for_each_thread([&](Thread& t) {
+      const std::uint32_t i = t.gidx();
+      if (i >= n) return;
+      const std::uint32_t v = src.ld(t, i);
+      t.work(3.0);
+      cnt.atomic_add(t, (i * 2654435761u) % ctr.size(), v);
+      dst.st(t, i, v + 1);
+    });
+  });
+}
+
+/// The identical round in lane-loop style: same guard, same op sequence,
+/// same addresses, batched per warp.
+void elementwise_lane_loop(Device& dev, std::uint32_t n,
+                           std::span<std::uint32_t> in,
+                           std::span<std::uint32_t> out,
+                           std::span<std::uint32_t> ctr) {
+  auto src = dev.array(in);
+  auto dst = dev.array(out);
+  auto cnt = dev.array(ctr);
+  dev.launch(4, 256, [&](Block& blk) {
+    blk.for_each_warp([&](WarpCtx& w) {
+      const std::uint32_t base = w.gidx_base();
+      if (base >= n) return;
+      const WarpCtx::Mask m = w.mask_first(n - base);
+      LaneVec<std::uint32_t> v, inc, slot;
+      src.ld_warp_c(w, m, base, v.v);
+      w.work(m, 3.0);
+      w.for_lanes(m, [&](int l) {
+        slot[l] = ((base + static_cast<std::uint32_t>(l)) * 2654435761u) %
+                  static_cast<std::uint32_t>(ctr.size());
+      });
+      cnt.atomic_add_warp(w, m, slot.v, v.v);
+      w.for_lanes(m, [&](int l) { inc[l] = v[l] + 1; });
+      dst.st_warp_c(w, m, base, inc.v);
+    });
+  });
+}
+
+TEST(SimGolden, LaneLoopBitIdenticalToPerLaneElementwise) {
+  // n = 1000 on a 1024-thread grid: the last warp runs with a partial
+  // mask_first mask in the lane-loop engine and per-lane early returns in
+  // the legacy engine. Both engines, both model modes, one truth.
+  constexpr std::uint32_t n = 1000;
+  // One set of buffers for BOTH engines: the hotspot table hashes raw
+  // addresses, so distinct allocations would legitimately chain atomics
+  // into different slots and the comparison would test the allocator.
+  std::vector<std::uint32_t> in(1024), out(1024), ctr(4096);
+  for (std::uint32_t i = 0; i < in.size(); ++i) in[i] = i * 7 + 1;
+  for (const bool reference : {false, true}) {
+    set_reference_model(reference);
+    Device per_lane(rtx3090_like()), lane_loop(rtx3090_like());
+    std::fill(out.begin(), out.end(), 0u);
+    std::fill(ctr.begin(), ctr.end(), 0u);
+    elementwise_per_lane(per_lane, n, in, out, ctr);
+    const std::vector<std::uint32_t> out_a = out, ctr_a = ctr;
+    std::fill(out.begin(), out.end(), 0u);
+    std::fill(ctr.begin(), ctr.end(), 0u);
+    elementwise_lane_loop(lane_loop, n, in, out, ctr);
+    set_reference_model(false);
+    SCOPED_TRACE(reference ? "reference model" : "fast model");
+    EXPECT_EQ(bits(per_lane.elapsed_seconds()),
+              bits(lane_loop.elapsed_seconds()));
+    expect_identical(per_lane.last_stats(), lane_loop.last_stats());
+    EXPECT_EQ(out_a, out);  // functional agreement too
+    EXPECT_EQ(ctr_a, ctr);
+  }
+}
+
+TEST(SimGolden, LaneLoopDivergentEdgeLoopGolden) {
+  // A push-style ragged edge loop in lane-loop form: the active mask decays
+  // lane by lane (where-refinement), gathers go through ld_warp, and the
+  // relaxations are scattered atomics plus cuda::atomic fetches (fence
+  // charges). Ref mode stages every batch through the legacy flush; fast
+  // mode uses the analytic paths — they must agree bit-for-bit.
+  // Buffers live outside the workload: the ref and fast runs must hash the
+  // exact same atomic addresses into the hotspot table.
+  constexpr std::uint32_t n = 700;  // not a multiple of 256 or 32
+  std::vector<std::uint32_t> deg(n), dist(n), adist(n);
+  for (std::uint32_t i = 0; i < n; ++i) deg[i] = i % 9;
+  expect_golden([&](Device& dev, auto snap) {
+    std::fill(dist.begin(), dist.end(), 0xffffffffu);
+    std::fill(adist.begin(), adist.end(), ~0u);
+    auto dg = dev.array(std::span<std::uint32_t>(deg));
+    auto d = dev.array(std::span<std::uint32_t>(dist));
+    auto ad = dev.array(std::span<std::uint32_t>(adist));
+    dev.launch(3, 256, [&](Block& blk) {
+      blk.for_each_warp([&](WarpCtx& w) {
+        const std::uint32_t base = w.gidx_base();
+        if (base >= n) return;
+        const WarpCtx::Mask active = w.mask_first(n - base);
+        LaneVec<std::uint32_t> k, lim, u, nd;
+        dg.ld_warp_c(w, active, base, lim.v);
+        w.for_lanes(active, [&](int l) {
+          k[l] = 0;
+          nd[l] = base + static_cast<std::uint32_t>(l);
+        });
+        WarpCtx::Mask live =
+            w.where(active, [&](int l) { return k[l] < lim[l]; });
+        while (live != 0) {
+          w.for_lanes(live, [&](int l) {
+            u[l] = (nd[l] * 31u + k[l] * 131u) % n;  // scattered neighbor
+          });
+          d.atomic_min_warp(w, live, u.v, nd.v);
+          ad.afetch_min_warp(w, live, u.v, nd.v);  // fenced flavor
+          w.work(live, 2.0);
+          w.for_lanes(live, [&](int l) { ++k[l]; });
+          live = w.where(live, [&](int l) { return k[l] < lim[l]; });
+        }
+      });
+    });
+    snap();
+  });
+}
+
+TEST(SimGolden, LaneLoopAllInactiveAndTailWarps) {
+  // 80-thread blocks make a 16-lane tail warp (width() < warp_size, partial
+  // full()); n = 40 leaves that tail warp and half of warp 1 fully masked
+  // out. Fully inactive batches must charge nothing and stay golden.
+  expect_golden([](Device& dev, auto snap) {
+    constexpr std::uint32_t n = 40;
+    std::vector<std::uint32_t> buf(128, 5), out(128, 0);
+    auto src = dev.array(std::span<std::uint32_t>(buf));
+    auto dst = dev.array(std::span<std::uint32_t>(out));
+    dev.launch(1, 80, [&](Block& blk) {
+      blk.for_each_warp([&](WarpCtx& w) {
+        EXPECT_LE(w.width(), 32);
+        const std::uint32_t base = w.gidx_base();
+        // Deliberately no early return: warps past n see mask_first(0) == 0
+        // and every accessor must be a no-op on an empty mask.
+        const WarpCtx::Mask m =
+            base >= n ? w.mask_first(0) : w.mask_first(n - base);
+        LaneVec<std::uint32_t> v;
+        src.ld_warp_c(w, m, base, v.v);
+        w.for_lanes(m, [&](int l) { v[l] *= 2; });
+        dst.st_warp_c(w, m, base, v.v);
+      });
+    });
+    snap();
+  });
+  // Functional spot-check of the same shape outside the golden harness.
+  Device dev(rtx3090_like());
+  std::vector<std::uint32_t> buf(128, 5), out(128, 0);
+  auto src = dev.array(std::span<std::uint32_t>(buf));
+  auto dst = dev.array(std::span<std::uint32_t>(out));
+  dev.launch(1, 80, [&](Block& blk) {
+    blk.for_each_warp([&](WarpCtx& w) {
+      const std::uint32_t base = w.gidx_base();
+      const WarpCtx::Mask m = base >= 40 ? 0 : w.mask_first(40 - base);
+      LaneVec<std::uint32_t> v;
+      src.ld_warp_c(w, m, base, v.v);
+      w.for_lanes(m, [&](int l) { v[l] *= 2; });
+      dst.st_warp_c(w, m, base, v.v);
+    });
+  });
+  for (std::uint32_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i < 40 ? 10u : 0u) << i;
+  }
 }
 
 }  // namespace

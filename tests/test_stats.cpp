@@ -34,6 +34,36 @@ TEST(Geomean, MatchesClosedForm) {
   EXPECT_DOUBLE_EQ(geomean({}), 0.0);
 }
 
+TEST(Geomean, DropsNonpositiveEntriesAndCountsThem) {
+  // A zero used to enter exp(mean(log)) as log(0) = -inf and silently
+  // crater the mean; now it is excluded and counted.
+  std::size_t dropped = 0;
+  EXPECT_NEAR(geomean(std::vector<double>{1, 0, 100}, &dropped), 10.0, 1e-12);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_NEAR(geomean(std::vector<double>{-5, 2, 2, 2, 0}, &dropped), 2.0,
+              1e-12);
+  EXPECT_EQ(dropped, 2u);
+}
+
+TEST(Geomean, AllNonpositiveIsNaNNotZero) {
+  // A fully failed series must be loud, not a plausible-looking tiny mean.
+  std::size_t dropped = 0;
+  EXPECT_TRUE(std::isnan(geomean(std::vector<double>{0.0, -1.0}, &dropped)));
+  EXPECT_EQ(dropped, 2u);
+  // ...while a genuinely empty input stays the documented 0.0.
+  EXPECT_DOUBLE_EQ(geomean({}, &dropped), 0.0);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(Pearson, MismatchedLengthsAreNaNNotTruncated) {
+  // Pairing is positional; truncating to the shorter series would correlate
+  // the wrong pairs without a trace.
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_TRUE(std::isnan(pearson(x, y)));
+  EXPECT_TRUE(std::isnan(pearson(y, x)));
+}
+
 TEST(Pearson, PerfectAndAnticorrelation) {
   const std::vector<double> x{1, 2, 3, 4, 5};
   const std::vector<double> y{2, 4, 6, 8, 10};

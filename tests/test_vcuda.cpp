@@ -4,7 +4,9 @@
 // penalty, device-spec differences).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/counters.hpp"
@@ -105,6 +107,42 @@ TEST(VcudaExec, PersistentGridMatchesDeviceCapacity) {
   EXPECT_GE(dev.persistent_grid_dim(1 << 20), 1u);
 }
 
+// --- spec and launch validation ---------------------------------------------
+// These are throwing checks, not asserts: the default build defines NDEBUG,
+// and a bad spec or launch config must still fail loudly in Release.
+
+TEST(VcudaValidate, BadDeviceSpecsThrowAtConstruction) {
+  auto rejects = [](auto&& tweak) {
+    DeviceSpec s = rtx3090_like();
+    tweak(s);
+    EXPECT_THROW(Device{s}, std::invalid_argument);
+  };
+  rejects([](DeviceSpec& s) { s.warp_size = 0; });
+  rejects([](DeviceSpec& s) { s.warp_size = 65; });  // lane arrays hold 64
+  rejects([](DeviceSpec& s) { s.mem_transaction_bytes = 96; });  // not pow2
+  rejects([](DeviceSpec& s) { s.mem_transaction_bytes = 0; });
+  rejects([](DeviceSpec& s) { s.num_sms = 0; });
+  rejects([](DeviceSpec& s) { s.max_threads_per_sm = 0; });
+  rejects([](DeviceSpec& s) { s.clock_ghz = 0.0; });
+  rejects([](DeviceSpec& s) { s.mem_bandwidth_gbs = -1.0; });
+  // Legal boundary values still construct.
+  DeviceSpec ok = rtx3090_like();
+  ok.warp_size = 64;
+  ok.mem_transaction_bytes = 32;
+  Device dev(ok);
+  EXPECT_EQ(dev.spec().warp_size, 64);
+}
+
+TEST(VcudaValidate, BadLaunchDimensionsThrow) {
+  Device dev(spec());
+  auto noop = [](Block& blk) { blk.for_each_thread([](Thread&) {}); };
+  EXPECT_THROW(dev.launch(0, 32, noop), std::invalid_argument);
+  EXPECT_THROW(dev.launch(1, 0, noop), std::invalid_argument);
+  EXPECT_THROW(dev.launch(1, 2048, noop), std::invalid_argument);
+  dev.launch(1, 1024, noop);  // CUDA's block-dim ceiling is inclusive
+  EXPECT_EQ(dev.launches(), 1u);
+}
+
 // --- performance-model laws ------------------------------------------------
 
 /// Simulated seconds for a 1-block kernel where each of 32 lanes loads
@@ -142,6 +180,50 @@ TEST(VcudaModel, CoalescedLoadsBeatScatteredLoads) {
   };
   EXPECT_EQ(run(dev_c, 1), 1u);    // 32 adjacent words: one 128B line
   EXPECT_EQ(run(dev_s, 32), 32u);  // 128B apart: one line each
+}
+
+TEST(VcudaModel, CoalescingHonorsNonDefaultTransactionSize) {
+  // The segment size must come from the spec, not a baked-in 128.
+  std::vector<std::uint32_t> data(4096, 0);
+  auto run = [&](int seg_bytes, std::uint32_t stride) {
+    DeviceSpec s = rtx3090_like();
+    s.mem_transaction_bytes = seg_bytes;
+    Device dev(s);
+    auto arr = dev.array(std::span<std::uint32_t>(data));
+    dev.launch(1, 32, [&](Block& blk) {
+      blk.for_each_thread(
+          [&](Thread& t) { (void)arr.ld(t, t.thread_idx() * stride); });
+    });
+    return dev.last_stats().transactions;
+  };
+  // 32 adjacent words = 128 bytes: two 64B segments, one 256B segment.
+  EXPECT_EQ(run(64, 1), 2u);
+  EXPECT_EQ(run(256, 1), 1u);
+  // One segment-width apart: a replay per lane at either size.
+  EXPECT_EQ(run(64, 16), 32u);
+  EXPECT_EQ(run(256, 64), 32u);
+}
+
+TEST(VcudaModel, BaseAlignmentMaskTracksTransactionSize) {
+  // Regression: the coalescer used to canonicalize the buffer base with a
+  // hardcoded ~127 mask. On a 256B-segment device a base sitting at
+  // 128 (mod 256) then straddled two segments, so a warp-contiguous
+  // 256-byte load counted 2 transactions instead of 1.
+  DeviceSpec s = rtx3090_like();
+  s.mem_transaction_bytes = 256;
+  std::vector<std::uint64_t> backing(1024, 0);
+  const auto addr = reinterpret_cast<std::uintptr_t>(backing.data());
+  // Offset the span so its base address is exactly 128 (mod 256).
+  const std::size_t off =
+      ((128 + 256 - addr % 256) % 256) / sizeof(std::uint64_t);
+  Device dev(s);
+  auto arr = dev.array(std::span<std::uint64_t>(backing.data() + off, 512));
+  dev.launch(1, 32, [&](Block& blk) {
+    blk.for_each_thread([&](Thread& t) { (void)arr.ld(t, t.thread_idx()); });
+  });
+  // 32 x 8B = 256 contiguous bytes from a segment-aligned (canonicalized)
+  // base: exactly one 256-byte transaction.
+  EXPECT_EQ(dev.last_stats().transactions, 1u);
 }
 
 TEST(VcudaModel, DivergenceChargesWarpAtSlowestLane) {
