@@ -93,6 +93,22 @@ int main(int argc, char** argv) {
               << "; total conflicts push=" << push_total
               << " pull=" << pull_total << '\n';
 
+    // Distribution shape, not just extremes: the registry snapshot now
+    // carries log2-bucket percentiles for every recorded distribution.
+    {
+      const auto snap = obs::CounterRegistry::instance().snapshot();
+      std::cout << "\ndistribution percentiles (p50 / p95 / p99):\n";
+      for (const auto& [name, value] : snap) {
+        if (!name.ends_with(".p50")) continue;
+        const std::string stem = name.substr(0, name.size() - 4);
+        const auto p95 = snap.find(stem + ".p95");
+        const auto p99 = snap.find(stem + ".p99");
+        std::cout << "  " << stem << ": " << value << " / "
+                  << (p95 != snap.end() ? p95->second : 0.0) << " / "
+                  << (p99 != snap.end() ? p99->second : 0.0) << '\n';
+      }
+    }
+
     bench::shape_check(
         "push-style SSSP incurs strictly more same-address atomic conflicts "
         "than pull-style on rmat (every matched pair)",

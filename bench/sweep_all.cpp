@@ -18,6 +18,8 @@
 // re-executed (the journal is fsynced per append), so a resumed sweep only
 // runs what is missing. The final report prints `re-executed: N`, computed
 // from the journal's own accounting, which must be 0.
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -32,6 +34,8 @@
 #include "bench_util/main.hpp"
 #include "bench_util/printing.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/executor.hpp"
 #include "sched/job_graph.hpp"
 
@@ -53,14 +57,26 @@ double env_timeout_s() {
   return 0;
 }
 
+/// Progress line for the executor's monitor thread. On a terminal the line
+/// redraws in place (`\r`); when stderr is redirected (CI logs, `2>file`)
+/// carriage returns would glue every update into one unreadable mega-line,
+/// so we emit complete newline-terminated lines instead, rate-limited so an
+/// hours-long sweep logs one line every few seconds, not per tick. Only the
+/// monitor thread and (after it joined) run()'s final call invoke this, so
+/// the statics need no locking.
 void print_progress(const sched::Progress& p) {
+  static const bool tty = ::isatty(::fileno(stderr)) != 0;
+  static double last_logged_s = -1e9;
+  const bool final = p.done == p.total;
+  if (!tty && !final && p.elapsed_s - last_logged_s < 5.0) return;
+  last_logged_s = p.elapsed_s;
   std::fprintf(stderr,
-               "\r[sweep] %zu/%zu done, %zu running, %zu queued, "
-               "%llu steals, elapsed %.1fs, eta %.0fs   ",
-               p.done, p.total, p.running, p.queue_depth,
+               "%s[sweep] %zu/%zu done, %zu running, %zu queued, "
+               "%llu steals, elapsed %.1fs, eta %.0fs%s",
+               tty ? "\r" : "", p.done, p.total, p.running, p.queue_depth,
                static_cast<unsigned long long>(p.steals), p.elapsed_s,
-               p.eta_s < 0 ? 0.0 : p.eta_s);
-  if (p.done == p.total) std::fputc('\n', stderr);
+               p.eta_s < 0 ? 0.0 : p.eta_s, tty ? "   " : "\n");
+  if (tty && final) std::fputc('\n', stderr);
 }
 
 struct SweepOutcome {
@@ -175,8 +191,19 @@ SweepOutcome run_dag(bench::Harness& h, std::optional<Model> model,
   for (std::size_t c = 0; c < cells.size(); ++c) {
     if (!slots[c]) {
       ++out.quarantined;
+      const sched::JobStatus& st = statuses[cell_job[c]];
       std::cerr << "[warn] quarantined: " << jg.job(cell_job[c]).name << ": "
-                << statuses[cell_job[c]].error << '\n';
+                << st.error;
+      if (!st.flight_dump.empty()) {
+        std::cerr << " (flight dump: " << st.flight_dump << ')';
+      }
+      std::cerr << '\n';
+      h.result_store().annotate(
+          "quarantined " + jg.job(cell_job[c]).name + " after " +
+          std::to_string(st.attempts) + " attempt(s): " + st.error +
+          (st.flight_dump.empty()
+               ? std::string()
+               : " (flight dump: " + st.flight_dump + ")"));
       continue;
     }
     out.verified += slots[c]->verified;
@@ -287,6 +314,22 @@ int main(int argc, char** argv) {
   }
   if (bench_mode) return run_bench_mode(algo, reps, workers);
 
+  // A sweep is long-lived and killable, so the telemetry plane is on by
+  // default: the flight recorder captures what was in flight when a signal
+  // lands, and the snapshot publisher keeps telemetry.json current. Both
+  // honor explicit env choices (INDIGO_FLIGHT=0 / INDIGO_TELEMETRY=0 keep
+  // them off; non-zero values were already applied by init_from_env).
+  // Default telemetry leaves the counter layer alone: obs::enabled() must
+  // stay measurement-driven (it changes journal keys and exec classes).
+  if (std::getenv("INDIGO_FLIGHT") == nullptr) {
+    obs::set_flight_enabled(true);
+  }
+  if (std::getenv("INDIGO_TELEMETRY") == nullptr) {
+    obs::TelemetryOptions topts;
+    topts.arm_counters = false;
+    obs::telemetry_start(std::move(topts));
+  }
+
   bench::print_header(
       "Sweep", "The full study as one fault-tolerant job DAG",
       "All selected (variant x graph) measurements execute through the "
@@ -313,6 +356,17 @@ int main(int argc, char** argv) {
             << "[sweep] wall: " << out.wall_s << "s on " << pool
             << " workers; journal: " << h.result_store().path() << " ("
             << h.result_store().size() << " entries)\n";
+  const bool had_telemetry = obs::telemetry_running();
+  obs::telemetry_stop();  // one final snapshot with the end-state counters
+  if (had_telemetry || obs::flight_enabled()) {
+    std::cout << "[sweep] telemetry plane:";
+    if (had_telemetry) std::cout << " snapshots published";
+    if (obs::flight_enabled()) {
+      std::cout << (had_telemetry ? ";" : "")
+                << " flight dump on crash/kill: " << obs::flight_dump_path();
+    }
+    std::cout << '\n';
+  }
 
   bench::shape_check("every pair is journaled or quarantined",
                      out.hits + out.executed + out.quarantined == out.total);

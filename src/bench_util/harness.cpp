@@ -300,6 +300,7 @@ std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
       // paper excludes failed runs; downstream filters on `verified`.
       ++stats.quarantined;
       const Pair& p = pairs[i];
+      const sched::JobStatus& st = statuses[job_of[i]];
       Measurement m;
       m.program = p.v->name;
       m.model = p.v->model;
@@ -307,9 +308,22 @@ std::vector<Measurement> Harness::sweep(const SweepOptions& opts) {
       m.style = p.v->style;
       m.graph = p.g->name();
       m.verified = false;
-      m.error = "quarantined: " + statuses[job_of[i]].error;
+      m.error = "quarantined: " + st.error;
+      // Leave an audit trail in the journal (as a comment, so a resumed
+      // sweep still retries the pair) pointing at the flight dump the
+      // executor took when the last attempt failed.
+      store_->annotate("quarantined " + p.v->name + "@" + m.graph + " after " +
+                       std::to_string(st.attempts) + " attempt(s): " +
+                       st.error +
+                       (st.flight_dump.empty()
+                            ? std::string()
+                            : " (flight dump: " + st.flight_dump + ")"));
       std::cerr << "\n[warn] " << m.program << " on " << m.graph << ' '
-                << m.error << '\n';
+                << m.error;
+      if (!st.flight_dump.empty()) {
+        std::cerr << " (flight dump: " << st.flight_dump << ')';
+      }
+      std::cerr << '\n';
       out.push_back(std::move(m));
     }
   }

@@ -1,5 +1,8 @@
 #include "obs/counters.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace indigo::obs {
 
 namespace detail {
@@ -19,6 +22,35 @@ void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+std::size_t Distribution::bucket_of(double x) {
+  if (!(x > 0.0)) return 0;  // non-positive and NaN samples
+  // Exponent range [-32, 30] maps to buckets [1, 63]; out-of-range samples
+  // clamp into the edge buckets.
+  const int e = std::clamp(std::ilogb(x), -32, 30);
+  return static_cast<std::size_t>(e + 33);
+}
+
+double Distribution::bucket_mid(std::size_t b) {
+  if (b == 0) return 0.0;
+  // Bucket b covers [2^(b-33), 2^(b-32)); report the geometric midpoint.
+  return std::exp2(static_cast<double>(b) - 33.0 + 0.5);
+}
+
+double Distribution::Stats::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;  // the extremes are tracked exactly
+  if (q >= 1.0) return max;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += hist[b];
+    if (static_cast<double>(cum) >= rank && cum > 0) {
+      return std::clamp(bucket_mid(b), min, max);
+    }
+  }
+  return max;
+}
+
 Distribution::Stats Distribution::stats() const {
   Stats out;
   for (const Shard& s : shards_) {
@@ -28,6 +60,9 @@ Distribution::Stats Distribution::stats() const {
     out.sum += s.sum.load(std::memory_order_relaxed);
     out.min = std::min(out.min, s.min.load(std::memory_order_relaxed));
     out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      out.hist[b] += s.hist[b].load(std::memory_order_relaxed);
+    }
   }
   return out;
 }
@@ -40,6 +75,7 @@ void Distribution::reset() {
                 std::memory_order_relaxed);
     s.max.store(-std::numeric_limits<double>::infinity(),
                 std::memory_order_relaxed);
+    for (auto& h : s.hist) h.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -86,6 +122,9 @@ std::map<std::string, double> CounterRegistry::snapshot() const {
     out[name + ".sum"] = s.sum;
     out[name + ".min"] = s.min;
     out[name + ".max"] = s.max;
+    out[name + ".p50"] = s.percentile(0.50);
+    out[name + ".p95"] = s.percentile(0.95);
+    out[name + ".p99"] = s.percentile(0.99);
   }
   return out;
 }
@@ -99,9 +138,11 @@ std::map<std::string, double> CounterRegistry::delta(
   };
   std::map<std::string, double> out;
   for (const auto& [name, after_v] : after) {
-    if (ends_with(name, ".min") || ends_with(name, ".max")) {
-      // Extremes are not differences; report the run-final value whenever
-      // the matching .count advanced during the window.
+    if (ends_with(name, ".min") || ends_with(name, ".max") ||
+        ends_with(name, ".p50") || ends_with(name, ".p95") ||
+        ends_with(name, ".p99")) {
+      // Extremes and percentiles are not differences; report the run-final
+      // value whenever the matching .count advanced during the window.
       const std::string stem = name.substr(0, name.size() - 4);
       const auto ca = after.find(stem + ".count");
       const auto cb = before.find(stem + ".count");

@@ -81,9 +81,15 @@ class Counter {
 };
 
 /// A named distribution gauge: count / sum / min / max of recorded samples
-/// (enough for load-imbalance and occupancy summaries without histograms).
+/// plus a bounded log2-bucket histogram, so Stats can report percentile
+/// estimates (p50/p95/p99) without storing samples. Buckets are powers of
+/// two covering 2^-32 .. 2^31 (bucket 0 catches non-positive samples), so a
+/// percentile estimate is exact to within a factor of sqrt(2) and then
+/// clamped into [min, max].
 class Distribution {
  public:
+  static constexpr std::size_t kBuckets = 64;
+
   explicit Distribution(std::string name) : name_(std::move(name)) {}
   Distribution(const Distribution&) = delete;
   Distribution& operator=(const Distribution&) = delete;
@@ -95,16 +101,27 @@ class Distribution {
     s.sum.fetch_add(x, std::memory_order_relaxed);
     atomic_min(s.min, x);
     atomic_max(s.max, x);
+    s.hist[bucket_of(x)].fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Histogram bucket for sample x: 0 for x <= 0 (and NaN), else the
+  /// clamped binary exponent shifted into [1, kBuckets-1].
+  static std::size_t bucket_of(double x);
+  /// Geometric midpoint of bucket b (0.0 for the non-positive bucket).
+  static double bucket_mid(std::size_t b);
 
   struct Stats {
     std::uint64_t count = 0;
     double sum = 0;
     double min = std::numeric_limits<double>::infinity();
     double max = -std::numeric_limits<double>::infinity();
+    std::array<std::uint64_t, kBuckets> hist{};
     [[nodiscard]] double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+    /// Percentile estimate from the log2 histogram, q in [0, 1]; the
+    /// result is clamped into [min, max]. 0.0 when the stats are empty.
+    [[nodiscard]] double percentile(double q) const;
   };
   [[nodiscard]] Stats stats() const;
   void reset();
@@ -118,6 +135,7 @@ class Distribution {
     std::atomic<double> sum{0.0};
     std::atomic<double> min{std::numeric_limits<double>::infinity()};
     std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::array<std::atomic<std::uint32_t>, kBuckets> hist{};
   };
   static void atomic_min(std::atomic<double>& a, double x) {
     double cur = a.load(std::memory_order_relaxed);
@@ -145,13 +163,14 @@ class CounterRegistry {
   Distribution& distribution(std::string_view name);
 
   /// Flat name -> value view of everything registered. Distributions expand
-  /// to four entries: name.count/.sum/.min/.max. Zero-count entries are
-  /// omitted so snapshots stay proportional to what actually ran.
+  /// to seven entries: name.count/.sum/.min/.max/.p50/.p95/.p99. Zero-count
+  /// entries are omitted so snapshots stay proportional to what ran.
   [[nodiscard]] std::map<std::string, double> snapshot() const;
 
   /// after - before for counter values and distribution counts/sums
-  /// (min/max pass through from `after`). Entries with a zero delta are
-  /// dropped; this is what a per-measurement metrics map is built from.
+  /// (min/max/percentiles pass through from `after`). Entries with a zero
+  /// delta are dropped; this is what a per-measurement metrics map is
+  /// built from.
   static std::map<std::string, double> delta(
       const std::map<std::string, double>& before,
       const std::map<std::string, double>& after);

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -7,6 +9,9 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 
 namespace indigo::obs {
 
@@ -86,6 +91,8 @@ void init_from_env() {
     if (const char* p = std::getenv("INDIGO_METRICS"); p != nullptr && *p) {
       set_metrics_path(p);
     }
+    flight_init_from_env();
+    telemetry_init_from_env();
     std::atexit(write_trace_at_exit);
   });
 }
@@ -151,7 +158,9 @@ double now_us() {
 
 Span::Span(const char* name, const char* cat) {
   init_from_env();
-  if (!trace_enabled()) return;
+  // A span is live when either sink wants it: the in-memory trace buffer
+  // (Chrome-trace export) or the flight recorder's per-thread rings.
+  if (!trace_enabled() && !flight_enabled()) return;
   active_ = true;
   name_ = name;
   cat_ = cat;
@@ -171,11 +180,19 @@ void Span::arg(std::string key, std::string value) {
 void Span::end() {
   if (!active_) return;
   active_ = false;
+  const double dur_us = now_us() - start_us_;
+  if (flight_enabled()) {
+    // The first string arg is the most identifying one by convention (job
+    // name, graph name); it rides along as the flight event's detail.
+    flight_record_span(name_, cat_, start_us_, dur_us,
+                       str_args_.empty() ? std::string_view()
+                                         : std::string_view(str_args_[0].second));
+  }
   TraceEvent ev;
   ev.name = name_;
   ev.cat = cat_;
   ev.ts_us = start_us_;
-  ev.dur_us = now_us() - start_us_;
+  ev.dur_us = dur_us;
   ev.tid = detail::thread_slot();
   ev.num_args = std::move(num_args_);
   ev.str_args = std::move(str_args_);
@@ -208,14 +225,17 @@ bool write_chrome_trace(const std::string& path) {
     std::cerr << "[obs] cannot write trace file " << path << '\n';
     return false;
   }
+  // Records are stamped with the real pid and the stable process trace id
+  // so traces from many worker processes merge without tid/pid collisions.
+  const auto pid = static_cast<std::uint64_t>(::getpid());
   out << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& ev : events) {
     if (!first) out << ',';
     first = false;
     out << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
-        << json_escape(ev.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
-        << ev.tid << ",\"ts\":" << json_number(ev.ts_us)
+        << json_escape(ev.cat) << "\",\"ph\":\"X\",\"pid\":" << pid
+        << ",\"tid\":" << ev.tid << ",\"ts\":" << json_number(ev.ts_us)
         << ",\"dur\":" << json_number(ev.dur_us);
     if (!ev.num_args.empty() || !ev.str_args.empty()) {
       out << ",\"args\":{";
@@ -234,7 +254,9 @@ bool write_chrome_trace(const std::string& path) {
     }
     out << '}';
   }
-  out << "],\"displayTimeUnit\":\"ms\"}\n";
+  out << "],\"pid\":" << pid << ",\"trace_id\":\""
+      << json_escape(process_trace_id())
+      << "\",\"displayTimeUnit\":\"ms\"}\n";
   return static_cast<bool>(out);
 }
 

@@ -1,0 +1,316 @@
+#include "obs/trace_reader.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace indigo::obs {
+namespace {
+
+/// Minimal owned JSON value — just enough structure to walk a trace file.
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* get(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent parser (strict enough for our own exporters plus
+/// hand-edited files; rejects trailing garbage).
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : p_(s.data()), end_(s.data() + s.size()) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!value(out)) {
+      error = err_.empty() ? "malformed JSON" : err_;
+      return false;
+    }
+    skip_ws();
+    if (p_ != end_) {
+      error = "trailing characters after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+  std::string err_;
+
+  bool fail(const char* what) {
+    if (err_.empty()) err_ = what;
+    return false;
+  }
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool literal(std::string_view lit) {
+    if (end_ - p_ < static_cast<std::ptrdiff_t>(lit.size())) return false;
+    if (std::string_view(p_, lit.size()) != lit) return false;
+    p_ += lit.size();
+    return true;
+  }
+  bool string(std::string& out) {
+    if (p_ == end_ || *p_ != '"') return fail("expected string");
+    ++p_;
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return fail("truncated escape");
+        switch (*p_) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p_;
+              if (p_ == end_ ||
+                  std::isxdigit(static_cast<unsigned char>(*p_)) == 0) {
+                return fail("bad \\u escape");
+              }
+              const char c = *p_;
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+            }
+            // UTF-8 encode (surrogate pairs folded to the replacement
+            // glyph - our own exporters never emit them).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        ++p_;
+      } else if (static_cast<unsigned char>(*p_) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out += *p_++;
+      }
+    }
+    if (p_ == end_) return fail("unterminated string");
+    ++p_;
+    return true;
+  }
+  bool number(double& out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) != 0 ||
+            *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+            *p_ == '+')) {
+      ++p_;
+    }
+    if (p_ == start) return fail("expected number");
+    char* parsed_end = nullptr;
+    out = std::strtod(std::string(start, p_).c_str(), &parsed_end);
+    return true;
+  }
+  bool value(JsonValue& out) {
+    if (p_ == end_) return fail("unexpected end of input");
+    switch (*p_) {
+      case '{': {
+        out.kind = JsonValue::Kind::Object;
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == '}') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!string(key)) return false;
+          skip_ws();
+          if (p_ == end_ || *p_ != ':') return fail("expected ':'");
+          ++p_;
+          skip_ws();
+          JsonValue v;
+          if (!value(v)) return false;
+          out.object.emplace_back(std::move(key), std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == '}') {
+            ++p_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        out.kind = JsonValue::Kind::Array;
+        ++p_;
+        skip_ws();
+        if (p_ != end_ && *p_ == ']') {
+          ++p_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          JsonValue v;
+          if (!value(v)) return false;
+          out.array.push_back(std::move(v));
+          skip_ws();
+          if (p_ != end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          if (p_ != end_ && *p_ == ']') {
+            ++p_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"': out.kind = JsonValue::Kind::String; return string(out.string);
+      case 't': out.kind = JsonValue::Kind::Bool; out.boolean = true;
+        return literal("true") || fail("bad literal");
+      case 'f': out.kind = JsonValue::Kind::Bool; out.boolean = false;
+        return literal("false") || fail("bad literal");
+      case 'n': out.kind = JsonValue::Kind::Null;
+        return literal("null") || fail("bad literal");
+      default: out.kind = JsonValue::Kind::Number; return number(out.number);
+    }
+  }
+};
+
+std::string stringify_scalar(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::String: return v.string;
+    case JsonValue::Kind::Bool: return v.boolean ? "true" : "false";
+    case JsonValue::Kind::Number: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.number);
+      return buf;
+    }
+    case JsonValue::Kind::Null: return "null";
+    default: return {};
+  }
+}
+
+}  // namespace
+
+std::optional<ReadTrace> read_trace_text(const std::string& text,
+                                         std::string* error) {
+  std::string err;
+  JsonValue doc;
+  if (!Parser(text).parse(doc, err)) {
+    if (error != nullptr) *error = err;
+    return std::nullopt;
+  }
+  if (doc.kind != JsonValue::Kind::Object) {
+    if (error != nullptr) *error = "top-level value is not an object";
+    return std::nullopt;
+  }
+  const JsonValue* events = doc.get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::Array) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return std::nullopt;
+  }
+  ReadTrace out;
+  for (const auto& [key, v] : doc.object) {
+    if (key == "traceEvents") continue;
+    if (v.kind == JsonValue::Kind::Array ||
+        v.kind == JsonValue::Kind::Object) {
+      continue;
+    }
+    out.meta[key] = stringify_scalar(v);
+  }
+  out.events.reserve(events->array.size());
+  for (const JsonValue& e : events->array) {
+    if (e.kind != JsonValue::Kind::Object) continue;
+    ReadEvent ev;
+    if (const JsonValue* v = e.get("name");
+        v != nullptr && v->kind == JsonValue::Kind::String) {
+      ev.name = v->string;
+    }
+    if (const JsonValue* v = e.get("cat");
+        v != nullptr && v->kind == JsonValue::Kind::String) {
+      ev.cat = v->string;
+    }
+    if (const JsonValue* v = e.get("ph");
+        v != nullptr && v->kind == JsonValue::Kind::String) {
+      ev.ph = v->string;
+    }
+    if (const JsonValue* v = e.get("ts");
+        v != nullptr && v->kind == JsonValue::Kind::Number) {
+      ev.ts_us = v->number;
+    }
+    if (const JsonValue* v = e.get("dur");
+        v != nullptr && v->kind == JsonValue::Kind::Number) {
+      ev.dur_us = v->number;
+    }
+    if (const JsonValue* v = e.get("pid");
+        v != nullptr && v->kind == JsonValue::Kind::Number) {
+      ev.pid = static_cast<std::uint64_t>(v->number);
+    }
+    if (const JsonValue* v = e.get("tid");
+        v != nullptr && v->kind == JsonValue::Kind::Number) {
+      ev.tid = static_cast<std::uint32_t>(v->number);
+    }
+    if (const JsonValue* args = e.get("args");
+        args != nullptr && args->kind == JsonValue::Kind::Object) {
+      for (const auto& [k, v] : args->object) {
+        if (v.kind == JsonValue::Kind::Number) {
+          ev.num_args[k] = v.number;
+        } else if (v.kind == JsonValue::Kind::String) {
+          ev.str_args[k] = v.string;
+        }
+      }
+    }
+    out.events.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::optional<ReadTrace> read_trace_file(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return read_trace_text(buf.str(), error);
+}
+
+}  // namespace indigo::obs

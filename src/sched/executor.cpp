@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
@@ -11,12 +12,29 @@
 #include <utility>
 
 #include "obs/counters.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace indigo::sched {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Stable per-job trace id: FNV-1a of the job name, so the same job carries
+/// the same id across attempts, workers, processes, and resumed runs —
+/// obs_timeline and external trace mergers can join on it.
+std::string job_trace_id(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
 
 /// Handles resolved once; the obs registry lookup takes a mutex.
 struct SchedCounters {
@@ -94,6 +112,56 @@ struct Executor::RunState {
                          : -1;
     return p;
   }
+
+  /// The "executor" telemetry section: live Progress plus the jobs in a
+  /// non-trivial state (running, retried, quarantined), so a snapshot taken
+  /// moments before a kill names exactly what was in flight. Runs on the
+  /// telemetry publisher thread; rs.mu serializes it against the workers.
+  [[nodiscard]] std::string telemetry_section() {
+    std::lock_guard lk(mu);
+    const Progress p = progress_locked();
+    obs::JsonObject o;
+    o.field("jobs", static_cast<std::uint64_t>(p.total))
+        .field("done", static_cast<std::uint64_t>(p.done))
+        .field("running", static_cast<std::uint64_t>(p.running))
+        .field("quarantined", static_cast<std::uint64_t>(p.quarantined))
+        .field("queue_depth", static_cast<std::uint64_t>(p.queue_depth))
+        .field("steals", p.steals)
+        .field("retries", p.retries)
+        .field("timeouts", p.timeouts)
+        .field("elapsed_s", p.elapsed_s)
+        .field("eta_s", p.eta_s);
+    constexpr std::size_t kMaxListed = 32;
+    std::string active = "[";
+    std::string failed = "[";
+    std::size_t n_active = 0;
+    std::size_t n_failed = 0;
+    for (JobId j = 0; j < status.size(); ++j) {
+      const JobStatus& st = status[j];
+      if (st.state == JobState::Running && n_active < kMaxListed) {
+        if (n_active++ > 0) active += ',';
+        active += '"' + obs::json_escape(graph->job(j).name) + '"';
+      }
+      if ((st.state == JobState::Quarantined ||
+           (st.failure != FailureKind::None && st.state != JobState::Done)) &&
+          n_failed < kMaxListed) {
+        if (n_failed++ > 0) failed += ',';
+        obs::JsonObject f;
+        f.field("job", std::string_view(graph->job(j).name))
+            .field("state", std::string_view(to_string(st.state)))
+            .field("failure", std::string_view(to_string(st.failure)))
+            .field("attempts", static_cast<std::uint64_t>(st.attempts));
+        if (!st.flight_dump.empty()) {
+          f.field("flight_dump", std::string_view(st.flight_dump));
+        }
+        failed += f.str();
+      }
+    }
+    active += ']';
+    failed += ']';
+    o.field_raw("active_jobs", active).field_raw("failed_jobs", failed);
+    return o.str();
+  }
 };
 
 Executor::Executor(ExecutorOptions opts)
@@ -157,6 +225,13 @@ std::vector<JobStatus> Executor::run(const JobGraph& graph) {
   obs::Span span("executor.run", "sched");
   span.arg("jobs", static_cast<double>(n));
   span.arg("workers", static_cast<double>(workers_));
+  // The "executor" telemetry section lives exactly as long as this run's
+  // RunState (the callback captures it by reference).
+  obs::telemetry_register_section(
+      "executor", [&rs] { return rs.telemetry_section(); });
+  struct SectionGuard {
+    ~SectionGuard() { obs::telemetry_unregister_section("executor"); }
+  } section_guard;
 
   // Seed the frontier round-robin across the workers' deques.
   {
@@ -202,6 +277,15 @@ std::vector<JobStatus> Executor::run(const JobGraph& graph) {
     std::lock_guard lk(rs.mu);
     opts_.on_progress(rs.progress_locked());
   }
+  span.arg("steals", static_cast<double>(
+                         rs.steals.load(std::memory_order_relaxed)));
+  span.arg("retries", static_cast<double>(
+                          rs.retries.load(std::memory_order_relaxed)));
+  span.arg("timeouts", static_cast<double>(
+                           rs.timeouts.load(std::memory_order_relaxed)));
+  span.arg("quarantined", static_cast<double>(
+                              rs.quarantined.load(std::memory_order_relaxed)));
+  span.end();
   return std::move(rs.status);
 }
 
@@ -264,6 +348,7 @@ void Executor::execute(RunState& rs, int w, JobId id) {
   span.arg("class", std::string(to_string(job.exec_class)));
   span.arg("attempt", static_cast<double>(attempt));
   span.arg("worker", static_cast<double>(w));
+  if (span.active()) span.arg("trace_id", job_trace_id(job.name));
 
   const JobContext ctx{id, attempt, token};
   FailureKind failure = FailureKind::None;
@@ -351,8 +436,28 @@ void Executor::execute(RunState& rs, int w, JobId id) {
 
 void Executor::finish(RunState& rs, int w, JobId id, FailureKind failure,
                       const std::string& error, double attempt_s) {
+  const Job& finished_job = rs.graph->job(id);
+  std::string dump_ref;
+  if (failure != FailureKind::None && obs::flight_enabled()) {
+    // Snapshot the rings while the failure is still the newest thing in
+    // them. Only this job's attempt counter decides retry vs quarantine,
+    // and no other worker can run this job concurrently, so the peek
+    // outside the long-held lock below is race-free.
+    bool will_retry = false;
+    {
+      std::lock_guard lk(rs.mu);
+      will_retry = rs.status[id].attempts <= finished_job.max_retries;
+    }
+    obs::flight_note(will_retry ? "sched.retry" : "sched.quarantine", "sched",
+                     finished_job.name);
+    const char* reason = will_retry ? "retry"
+                         : failure == FailureKind::Timeout ? "timeout"
+                                                           : "quarantine";
+    if (obs::flight_dump(reason)) dump_ref = obs::flight_dump_path();
+  }
   std::lock_guard lk(rs.mu);
   JobStatus& st = rs.status[id];
+  if (!dump_ref.empty()) st.flight_dump = std::move(dump_ref);
   st.run_seconds += attempt_s;
   if (failure == FailureKind::None) {
     st.state = JobState::Done;

@@ -82,6 +82,9 @@ struct JobStatus {
   std::string error;     // last failure description, empty when none
   int attempts = 0;      // attempts started
   double run_seconds = 0;  // summed across attempts (abandoned ones too)
+  /// Path of the flight-recorder dump taken when an attempt failed (empty
+  /// when the recorder is disarmed or the job never failed).
+  std::string flight_dump;
 };
 
 /// A DAG of jobs. add() returns the id used for depend(); the graph is

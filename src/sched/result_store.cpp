@@ -188,6 +188,16 @@ void ResultStore::put(const std::string& key, const ResultEntry& e) {
   append_line(line);
 }
 
+void ResultStore::annotate(const std::string& note) {
+  std::string line = "# " + note + '\n';
+  // A newline inside the note would splice a bogus journal line.
+  for (std::size_t i = 2; i + 1 < line.size(); ++i) {
+    if (line[i] == '\n' || line[i] == '\r') line[i] = ' ';
+  }
+  std::lock_guard lk(mu_);
+  append_line(line);
+}
+
 void ResultStore::append_line(const std::string& line) {
   if (fd_ < 0) return;
   if (!write_all(fd_, line.data(), line.size())) {

@@ -55,6 +55,12 @@ class ResultStore {
   /// Thread-safe insert-or-overwrite, journaled durably before returning.
   void put(const std::string& key, const ResultEntry& e);
 
+  /// Appends `note` to the journal as a `# `-prefixed comment line (replay
+  /// skips comments, checkpoint drops them). Used to attach context that is
+  /// not a result — quarantine records with their flight-dump reference —
+  /// without affecting resume semantics. Newlines in `note` are replaced.
+  void annotate(const std::string& note);
+
   /// Compacts the journal: writes header + all entries (sorted by key) to a
   /// temp file, fsyncs, renames over the journal. Returns false (journal
   /// intact) if anything fails. Memory-only stores return true.

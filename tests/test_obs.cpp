@@ -319,6 +319,48 @@ TEST_F(ObsTest, ChromeTraceExportIsWellFormedJson) {
   EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
 }
 
+TEST_F(ObsTest, ConcurrentSpanExportKeepsPerThreadTidsAndValidJson) {
+  set_trace_collecting(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 25;
+  std::vector<std::uint32_t> tid_of(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &tid_of] {
+      tid_of[t] = detail::thread_slot();
+      for (int i = 0; i < kSpansEach; ++i) {
+        Span s("mt_span", "test");
+        s.arg("owner", static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  set_trace_collecting(false);
+
+  const auto events = trace_events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kSpansEach);
+  // Every event carries the slot id of the thread that recorded it, so the
+  // per-thread lanes in the viewer are faithful.
+  std::map<std::uint32_t, int> per_tid;
+  for (const TraceEvent& ev : events) {
+    ASSERT_EQ(ev.num_args.size(), 1u);
+    const int owner = static_cast<int>(ev.num_args[0].second);
+    EXPECT_EQ(ev.tid, tid_of[static_cast<std::size_t>(owner)]);
+    ++per_tid[ev.tid];
+  }
+  EXPECT_EQ(per_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, n] : per_tid) EXPECT_EQ(n, kSpansEach);
+
+  const std::string path =
+      "obs_trace_mt_test_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonChecker(buf.str()).valid()) << buf.str();
+}
+
 TEST_F(ObsTest, JsonBuilderEscapesAndStaysParseable) {
   JsonObject o;
   o.field("s", std::string_view("quote \" slash \\ ctrl \x01 tab \t"))

@@ -132,6 +132,26 @@ TEST_F(ResultStoreTest, CheckpointRewritesSortedAndKeepsAppending) {
   EXPECT_EQ(reloaded.size(), 3u);
 }
 
+TEST_F(ResultStoreTest, AnnotationsPersistAsCommentsAndReplayIgnoresThem) {
+  {
+    ResultStore s(path_);
+    s.put("kept|g|cpu|1|1", ResultEntry{1.0, 2.0, 3, true, {}});
+    s.annotate("quarantined foo@bar after 2 attempt(s): timeout "
+               "(flight dump: flightdump-123.json)");
+    s.annotate("multi\nline\rnote");  // newlines must not splice lines
+  }
+  const std::string text = slurp(path_);
+  EXPECT_NE(text.find("# quarantined foo@bar"), std::string::npos);
+  EXPECT_NE(text.find("# multi line note"), std::string::npos);
+  ResultStore reload(path_);
+  EXPECT_EQ(reload.size(), 1u);       // comments are not entries
+  EXPECT_EQ(reload.malformed(), 0u);  // and not malformed lines either
+  ASSERT_TRUE(reload.find("kept|g|cpu|1|1").has_value());
+  // checkpoint() compacts comments away; the journal stays loadable.
+  EXPECT_TRUE(reload.checkpoint());
+  EXPECT_EQ(slurp(path_).find("# quarantined"), std::string::npos);
+}
+
 TEST_F(ResultStoreTest, EmptyPathKeepsResultsInMemoryOnly) {
   ResultStore s("");
   s.put("k", {1, 2, 3, true, {}});
