@@ -36,6 +36,7 @@ using indigo::obs::ReadTrace;
 struct JobAttempt {
   std::string label;  // "variant@graph"
   std::string algo, model, style, graph;
+  std::string proc;  // process-level worker identity ("w3" in a fleet run)
   double dur_us = 0;
   std::uint64_t pid = 0;
   int worker = -1;
@@ -124,6 +125,7 @@ int main(int argc, char** argv) {
 
   std::vector<JobAttempt> jobs;
   std::map<std::string, double> by_algo, by_graph, by_style, by_cell;
+  std::map<std::string, double> by_proc;  // fleet-worker attribution
   double busy_us = 0;
   double run_dur_us = 0, run_workers = 0;
   double steals = 0, retries = 0, timeouts = 0, quarantined = 0;
@@ -188,6 +190,15 @@ int main(int argc, char** argv) {
       if (const auto it = ev.str_args.find("outcome");
           it != ev.str_args.end())
         job.outcome = it->second;
+      // Per-process attribution: the executor stamps every job span with
+      // its process label ("w3" for fleet rank 3, "pid<pid>" otherwise);
+      // dumps without the arg fall back to the trace's pid.
+      if (const auto it = ev.str_args.find("proc"); it != ev.str_args.end()) {
+        job.proc = it->second;
+      } else if (job.pid != 0) {
+        job.proc = "pid" + std::to_string(job.pid);
+      }
+      if (!job.proc.empty()) by_proc[job.proc] += job.dur_us;
       if (parse_label(label, job)) {
         by_algo[job.algo] += job.dur_us;
         by_graph[job.graph] += job.dur_us;
@@ -214,6 +225,10 @@ int main(int argc, char** argv) {
     print_ranked("time by graph", by_graph, top);
     print_ranked("time by style", by_style, top);
     print_ranked("time by algorithm x style x graph", by_cell, top);
+  }
+  if (by_proc.size() > 1 || (!by_proc.empty() &&
+                             by_proc.begin()->first.rfind("pid", 0) != 0)) {
+    print_ranked("time by fleet worker", by_proc, top);
   }
 
   if (run_dur_us > 0) {
@@ -242,6 +257,9 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < jobs.size() && i < top; ++i) {
       const JobAttempt& j = jobs[i];
       std::printf("  %-58s %12s", j.label.c_str(), fmt_ms(j.dur_us).c_str());
+      if (!j.proc.empty() && j.proc.rfind("pid", 0) != 0) {
+        std::printf("  %s", j.proc.c_str());
+      }
       if (j.worker >= 0) std::printf("  w%d", j.worker);
       if (j.attempt >= 0) std::printf(" a%d", j.attempt);
       if (!j.outcome.empty()) std::printf(" %s", j.outcome.c_str());

@@ -1,0 +1,425 @@
+#include "fleet/coordinator.hpp"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "fleet/protocol.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace indigo::fleet {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+struct Coordinator::Impl {
+  explicit Impl(CoordinatorOptions o)
+      : opts(std::move(o)), table(opts.shards, opts.lease_s) {}
+
+  CoordinatorOptions opts;
+
+  // One connection's lifetime: the reader thread owns the fd and removes the
+  // Conn from the registry only at shutdown (joined there), so dispatch can
+  // use conn->writer without a use-after-free window.
+  struct Conn {
+    int fd = -1;
+    int rank = -1;  // -1 until hello
+    long pid = 0;
+    std::unique_ptr<FrameWriter> writer;
+    std::thread reader;
+    bool open = true;  // under mu
+  };
+
+  mutable std::mutex mu;
+  std::condition_variable cv;  // done / unfinishable / stats change
+  LeaseTable table;
+  std::map<int, WorkerView> workers;  // by rank
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::size_t executed = 0, hits = 0, quarantined = 0;
+  std::uint64_t fenced = 0;
+  int live_workers = -1;  // spawner liveness; -1 = unknown
+  bool stopping = false;
+
+  ListenSocket listener;
+  std::thread accept_thread;
+  std::thread expiry_thread;
+  bool started = false;
+
+  void log_line(const std::string& s) {
+    if (opts.log) opts.log(s);
+  }
+  void annotate(const std::string& s) {
+    if (opts.canonical) opts.canonical->annotate(s);
+  }
+
+  void note_releases(const std::vector<LeaseRelease>& rels,
+                     const char* cause) {
+    for (const LeaseRelease& r : rels) {
+      std::ostringstream os;
+      os << "fleet: lease on shard " << r.shard_id << " (worker w"
+         << r.worker << ", fence " << r.fence << ", " << r.progress
+         << " cell(s) reported) released: " << cause
+         << "; shard returns to the pool for reassignment";
+      log_line(os.str());
+      annotate(os.str());
+    }
+  }
+
+  void dispatch(Conn* c, const Message& m) {
+    const auto now = Clock::now();
+    if (m.type == "hello") {
+      std::lock_guard lk(mu);
+      c->rank = static_cast<int>(m.geti("rank", -1));
+      c->pid = m.geti("pid");
+      WorkerView& w = workers[c->rank];
+      w.rank = c->rank;
+      w.pid = c->pid;
+      w.journal = m.get("journal");
+      w.connected = true;
+      w.exited = false;
+      w.abnormal = false;
+      const auto cells = static_cast<std::size_t>(m.geti("cells"));
+      if (cells != table.total_cells()) {
+        std::ostringstream os;
+        os << "cell-count mismatch: coordinator enumerates "
+           << table.total_cells() << " cells, worker w" << c->rank
+           << " enumerates " << cells
+           << " (config drift between coordinator and worker)";
+        log_line("fleet: " + os.str());
+        Message err;
+        err.type = "error";
+        err.set("reason", os.str());
+        c->writer->send(err);
+        return;
+      }
+      Message ack;
+      ack.type = "hello_ack";
+      ack.set("lease_s", std::to_string(opts.lease_s));
+      ack.seti("shards", static_cast<long long>(table.total_shards()));
+      ack.seti("cells", static_cast<long long>(table.total_cells()));
+      c->writer->send(ack);
+      std::ostringstream os;
+      os << "fleet: worker w" << c->rank << " (pid " << c->pid
+         << ") connected, journal " << w.journal;
+      log_line(os.str());
+    } else if (m.type == "lease_request") {
+      std::lock_guard lk(mu);
+      if (auto l = table.acquire(c->rank, now)) {
+        Message grant;
+        grant.type = "lease";
+        grant.seti("shard", l->shard.id);
+        grant.seti("begin", static_cast<long long>(l->shard.begin));
+        grant.seti("end", static_cast<long long>(l->shard.end));
+        grant.seti("fence", static_cast<long long>(l->fence));
+        c->writer->send(grant);
+        std::ostringstream os;
+        os << "fleet: leased shard " << l->shard.id << " [" << l->shard.begin
+           << "," << l->shard.end << ") to worker w" << c->rank << " (fence "
+           << l->fence << ")";
+        log_line(os.str());
+      } else if (table.all_done()) {
+        Message d;
+        d.type = "drain";
+        c->writer->send(d);
+      } else {
+        Message w;
+        w.type = "wait";
+        w.seti("ms",
+               static_cast<long long>(opts.poll_interval_s * 1000.0) + 1);
+        c->writer->send(w);
+      }
+    } else if (m.type == "heartbeat") {
+      const auto shard = static_cast<std::uint32_t>(m.geti("shard"));
+      const auto fence = static_cast<std::uint64_t>(m.geti("fence"));
+      bool ok;
+      {
+        std::lock_guard lk(mu);
+        ok = table.heartbeat(shard, fence,
+                             static_cast<std::size_t>(m.geti("done")), now);
+        if (!ok) ++this->fenced;
+      }
+      if (!ok) {
+        Message f;
+        f.type = "fenced";
+        f.seti("shard", shard);
+        f.seti("fence", static_cast<long long>(fence));
+        c->writer->send(f);
+      } else if (opts.on_heartbeat) {
+        opts.on_heartbeat(c->rank, c->pid, shard);
+      }
+    } else if (m.type == "shard_done") {
+      const auto shard = static_cast<std::uint32_t>(m.geti("shard"));
+      const auto fence = static_cast<std::uint64_t>(m.geti("fence"));
+      bool all = false;
+      bool ok;
+      {
+        std::lock_guard lk(mu);
+        ok = table.complete(shard, fence);
+        if (ok) {
+          executed += static_cast<std::size_t>(m.geti("executed"));
+          hits += static_cast<std::size_t>(m.geti("hits"));
+          quarantined += static_cast<std::size_t>(m.geti("quarantined"));
+          workers[c->rank].shards_done++;
+          all = table.all_done();
+        } else {
+          ++this->fenced;
+        }
+      }
+      std::ostringstream os;
+      if (ok) {
+        os << "fleet: shard " << shard << " done by worker w" << c->rank
+           << " (executed " << m.geti("executed") << ", hits "
+           << m.geti("hits") << ", quarantined " << m.geti("quarantined")
+           << ")";
+      } else {
+        os << "fleet: ignored stale completion of shard " << shard
+           << " from worker w" << c->rank << " (fence " << fence
+           << " lost the lease)";
+        annotate(os.str());
+      }
+      log_line(os.str());
+      if (all) cv.notify_all();
+    } else if (m.type == "bye") {
+      std::ostringstream os;
+      os << "fleet: worker w" << c->rank << " drained cleanly";
+      log_line(os.str());
+    } else {
+      log_line("fleet: ignoring unknown message type '" + m.type + "'");
+    }
+  }
+
+  void on_disconnect(Conn* c) {
+    std::vector<LeaseRelease> rels;
+    {
+      std::lock_guard lk(mu);
+      c->open = false;
+      if (c->rank >= 0) {
+        workers[c->rank].connected = false;
+        rels = table.release_worker(c->rank);
+      }
+    }
+    note_releases(rels, "connection closed");
+    cv.notify_all();
+  }
+
+  void reader_loop(Conn* c) {
+    while (true) {
+      auto m = read_message(c->fd);
+      if (!m) break;
+      dispatch(c, *m);
+    }
+    on_disconnect(c);
+  }
+
+  void accept_loop() {
+    while (true) {
+      const int fd = accept_connection(listener.fd);
+      if (fd < 0) break;  // listener closed at shutdown
+      auto conn = std::make_unique<Conn>();
+      Conn* raw = conn.get();
+      raw->fd = fd;
+      raw->writer = std::make_unique<FrameWriter>(fd);
+      raw->reader = std::thread([this, raw] { reader_loop(raw); });
+      // shutdown() joins the accept thread before draining conns, so every
+      // registration here is visible to (and cleaned up by) shutdown.
+      std::lock_guard lk(mu);
+      conns.push_back(std::move(conn));
+    }
+  }
+
+  void expiry_loop() {
+    std::unique_lock lk(mu);
+    while (!stopping) {
+      cv.wait_for(lk, std::chrono::duration<double>(opts.poll_interval_s));
+      if (stopping) break;
+      auto rels = table.expire(Clock::now());
+      if (!rels.empty()) {
+        lk.unlock();
+        note_releases(rels, "lease expired (no heartbeat)");
+        cv.notify_all();
+        lk.lock();
+      }
+    }
+  }
+
+  std::string telemetry_section() const {
+    std::lock_guard lk(mu);
+    std::ostringstream o;
+    o << "{\"shards\":" << table.total_shards()
+      << ",\"done_shards\":" << table.done_shards()
+      << ",\"leased_shards\":" << table.leased_shards()
+      << ",\"cells\":" << table.total_cells()
+      << ",\"done_cells\":" << table.done_cells()
+      << ",\"lease_releases\":" << table.releases()
+      << ",\"fenced\":" << fenced << ",\"workers\":[";
+    bool first = true;
+    for (const auto& [rank, w] : workers) {
+      if (!first) o << ',';
+      first = false;
+      o << "{\"rank\":" << rank << ",\"pid\":" << w.pid
+        << ",\"connected\":" << (w.connected ? "true" : "false")
+        << ",\"exited\":" << (w.exited ? "true" : "false")
+        << ",\"abnormal\":" << (w.abnormal ? "true" : "false")
+        << ",\"shards_done\":" << w.shards_done << ",\"journal\":\""
+        << obs::json_escape(w.journal) << "\"}";
+    }
+    o << "]}";
+    return o.str();
+  }
+
+  bool unfinishable() const {
+    // Under mu. The run can never finish when shards remain but nobody is
+    // around to lease them: the spawner says no child is alive and no
+    // connection is open.
+    if (table.all_done()) return false;
+    if (live_workers != 0) return false;
+    for (const auto& c : conns) {
+      if (c->open) return false;
+    }
+    return true;
+  }
+};
+
+Coordinator::Coordinator(CoordinatorOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+Coordinator::~Coordinator() { shutdown(); }
+
+std::uint16_t Coordinator::start() {
+  auto ls = listen_local();
+  if (!ls) return 0;
+  impl_->listener = *ls;
+  impl_->started = true;
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  impl_->expiry_thread = std::thread([this] { impl_->expiry_loop(); });
+  obs::telemetry_register_section(
+      "fleet", [im = impl_.get()] { return im->telemetry_section(); });
+  return impl_->listener.port;
+}
+
+bool Coordinator::wait_until_done(double timeout_s) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(
+                         timeout_s > 0 ? timeout_s : 365.0 * 86400.0);
+  std::unique_lock lk(impl_->mu);
+  while (true) {
+    if (impl_->table.all_done()) return true;
+    if (impl_->unfinishable()) return false;
+    if (Clock::now() >= deadline) return false;
+    impl_->cv.wait_for(
+        lk, std::chrono::duration<double>(impl_->opts.poll_interval_s));
+  }
+}
+
+void Coordinator::shutdown() {
+  if (!impl_->started) return;
+  {
+    std::lock_guard lk(impl_->mu);
+    if (impl_->stopping) return;
+    impl_->stopping = true;
+  }
+  obs::telemetry_unregister_section("fleet");
+  impl_->cv.notify_all();
+  // Closing the listener unblocks accept(); join the accept thread first so
+  // no new connections appear while we drain the existing ones.
+  ::shutdown(impl_->listener.fd, SHUT_RDWR);
+  ::close(impl_->listener.fd);
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  if (impl_->expiry_thread.joinable()) impl_->expiry_thread.join();
+  for (auto& c : impl_->conns) {
+    Message d;
+    d.type = "drain";
+    c->writer->send(d);
+    c->writer->close();  // flush queued frames
+    ::shutdown(c->fd, SHUT_RDWR);  // unblock the reader thread
+    if (c->reader.joinable()) c->reader.join();
+    ::close(c->fd);
+  }
+  impl_->conns.clear();
+  impl_->started = false;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  std::lock_guard lk(impl_->mu);
+  CoordinatorStats s;
+  s.shards = impl_->table.total_shards();
+  s.done_shards = impl_->table.done_shards();
+  s.cells = impl_->table.total_cells();
+  s.done_cells = impl_->table.done_cells();
+  s.lease_releases = impl_->table.releases();
+  s.fenced = impl_->fenced;
+  s.executed = impl_->executed;
+  s.hits = impl_->hits;
+  s.quarantined = impl_->quarantined;
+  s.workers.reserve(impl_->workers.size());
+  for (const auto& [rank, w] : impl_->workers) s.workers.push_back(w);
+  return s;
+}
+
+std::vector<std::string> Coordinator::worker_journals() const {
+  std::lock_guard lk(impl_->mu);
+  std::vector<std::string> out;
+  for (const auto& [rank, w] : impl_->workers) {
+    if (w.journal.empty()) continue;
+    bool seen = false;
+    for (const auto& p : out) seen = seen || p == w.journal;
+    if (!seen) out.push_back(w.journal);
+  }
+  return out;
+}
+
+void Coordinator::note_worker_exit(long pid, bool clean_exit) {
+  std::vector<LeaseRelease> rels;
+  std::string death_note;
+  {
+    std::lock_guard lk(impl_->mu);
+    WorkerView* w = nullptr;
+    for (auto& [rank, view] : impl_->workers) {
+      if (view.pid == pid) w = &view;
+    }
+    if (w == nullptr) return;
+    w->exited = true;
+    w->abnormal = !clean_exit;
+    w->connected = false;
+    rels = impl_->table.release_worker(w->rank);
+    if (!clean_exit) {
+      std::ostringstream os;
+      os << "fleet: worker w" << w->rank << " (pid " << pid
+         << ") died without a clean exit";
+      const std::string dump = obs::flight_dump_path_for(pid);
+      struct stat st{};
+      if (::stat(dump.c_str(), &st) == 0) {
+        w->flight_dump = dump;
+        os << "; flight dump: " << dump;
+      }
+      death_note = os.str();
+    }
+  }
+  if (!death_note.empty()) {
+    impl_->log_line(death_note);
+    impl_->annotate(death_note);
+  }
+  impl_->note_releases(rels, "worker process exited");
+  impl_->cv.notify_all();
+}
+
+void Coordinator::set_live_workers(int n) {
+  {
+    std::lock_guard lk(impl_->mu);
+    impl_->live_workers = n;
+  }
+  impl_->cv.notify_all();
+}
+
+}  // namespace indigo::fleet

@@ -1,0 +1,113 @@
+// Fleet runtime, part 4: the coordinator.
+//
+// One coordinator serves a fleet of worker daemons over the framed socket
+// protocol (protocol.hpp): it partitions the sweep into shards (sched/
+// shard.hpp), hands them out as time-bounded leases (lease.hpp), renews
+// leases on heartbeats, expires them when a worker goes quiet, releases
+// them instantly when a connection drops (a SIGKILLed worker's socket
+// closes with it), and fences stale completions so a reassigned shard is
+// only counted once. Worker death is also reported out-of-band by the
+// process spawner (note_worker_exit), which lets the coordinator pick up
+// the flight dump the worker's fatal-signal handler left behind and append
+// the whole story to the canonical journal as `# fleet:` annotations.
+//
+// The coordinator is transport-only: it never touches graphs or variants.
+// Shard contents are re-derived by each worker from the deterministic cell
+// enumeration, and results stay in per-worker journals until
+// merge_worker_journals folds them into the canonical store after the run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/lease.hpp"
+#include "sched/result_store.hpp"
+#include "sched/shard.hpp"
+
+namespace indigo::fleet {
+
+/// Per-worker view for stats/telemetry.
+struct WorkerView {
+  int rank = -1;
+  long pid = 0;
+  std::string journal;
+  bool connected = false;
+  bool exited = false;
+  bool abnormal = false;        // died without a clean exit status
+  std::size_t shards_done = 0;
+  std::string flight_dump;      // picked up after an abnormal death
+};
+
+struct CoordinatorStats {
+  std::size_t shards = 0;
+  std::size_t done_shards = 0;
+  std::size_t cells = 0;
+  std::size_t done_cells = 0;
+  std::uint64_t lease_releases = 0;  // expiries + connection deaths
+  std::uint64_t fenced = 0;          // stale-fence messages rejected
+  std::size_t executed = 0;          // summed from accepted shard_done
+  std::size_t hits = 0;
+  std::size_t quarantined = 0;
+  std::vector<WorkerView> workers;
+};
+
+struct CoordinatorOptions {
+  std::vector<sched::ShardSpec> shards;
+  /// Lease duration; a worker heartbeats at a third of this.
+  double lease_s = 10.0;
+  /// Cadence of the expiry sweep and the granularity of wait_until_done.
+  double poll_interval_s = 0.25;
+  /// Canonical store for `# fleet:` annotations (lease expiry, worker
+  /// death, flight-dump pickup). May be null.
+  sched::ResultStore* canonical = nullptr;
+  /// One human-readable line per noteworthy event. May be null.
+  std::function<void(const std::string&)> log;
+  /// Fault-injection hook: called (rank, pid, shard_id) on every accepted
+  /// heartbeat. The CI smoke SIGKILLs a worker from here, guaranteeing the
+  /// kill lands mid-shard.
+  std::function<void(int, long, std::uint32_t)> on_heartbeat;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opts);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds 127.0.0.1, starts the accept/expiry threads, registers the
+  /// "fleet" telemetry section. Returns the listening port (0 = failure).
+  std::uint16_t start();
+
+  /// Blocks until every shard is done (true), the timeout expires, or no
+  /// progress is possible anymore — no connected workers, none alive at
+  /// the spawner, shards remaining (false). timeout_s 0 waits forever.
+  bool wait_until_done(double timeout_s = 0);
+
+  /// Stops serving: drains writers, closes connections, joins threads.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] CoordinatorStats stats() const;
+
+  /// Journal paths reported by workers at hello, deduplicated, in rank
+  /// order — the merge list.
+  [[nodiscard]] std::vector<std::string> worker_journals() const;
+
+  /// Spawner callback: child `pid` was reaped. Releases its leases, picks
+  /// up flightdump-<pid>.json if the crash handler left one, annotates.
+  void note_worker_exit(long pid, bool clean_exit);
+
+  /// Spawner liveness (children currently running). Used by
+  /// wait_until_done to detect an unfinishable run. Negative = unknown.
+  void set_live_workers(int n);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace indigo::fleet

@@ -1,0 +1,44 @@
+#include "fleet/journal_merge.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <sstream>
+
+namespace indigo::fleet {
+
+FleetMergeStats merge_worker_journals(
+    sched::ResultStore& canonical, const std::vector<std::string>& paths,
+    const std::function<void(const std::string&)>& log) {
+  FleetMergeStats out;
+  for (const std::string& path : paths) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+      ++out.missing;
+      continue;
+    }
+    const sched::MergeStats ms = canonical.merge_from_file(path);
+    ++out.files;
+    out.totals.merged += ms.merged;
+    out.totals.duplicates += ms.duplicates;
+    out.totals.conflicts += ms.conflicts;
+    out.totals.comments += ms.comments;
+    out.totals.malformed += ms.malformed;
+    out.torn_tails = out.torn_tails || ms.torn_tail;
+
+    std::ostringstream note;
+    note << "fleet-merge " << path << ": " << ms.merged << " merged, "
+         << ms.duplicates << " duplicate(s), " << ms.conflicts
+         << " conflict(s), " << ms.comments << " annotation(s)";
+    if (ms.torn_tail) note << ", torn tail repaired";
+    if (ms.malformed > 0) note << ", " << ms.malformed << " malformed";
+    canonical.annotate(note.str());
+    if (log) log(note.str());
+    // Remove the merged journal: its entries are durable in the canonical
+    // store now, and a later fleet run must not re-merge a stale file.
+    ::unlink(path.c_str());
+  }
+  return out;
+}
+
+}  // namespace indigo::fleet

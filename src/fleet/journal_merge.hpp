@@ -1,0 +1,38 @@
+// Fleet runtime, part 3: folding worker journals into the canonical store.
+//
+// Every fleet worker appends to its own per-rank journal (the ResultStore's
+// advisory flock makes sharing a file a hard error, deliberately). After
+// the run the coordinator merges them into the canonical ResultStore:
+// entries are deduplicated by job key (the canonical entry always wins — a
+// fenced worker that finished a reassigned shard anyway contributes nothing
+// new), `# ` annotations are carried over so quarantine audit trails
+// survive, and a torn tail left by a SIGKILLed worker is dropped exactly
+// like ResultStore's own open-time repair. Merged journals are removed on
+// success so a resumed fleet run cannot double-merge stale files.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/result_store.hpp"
+
+namespace indigo::fleet {
+
+struct FleetMergeStats {
+  std::size_t files = 0;    // journals found and merged
+  std::size_t missing = 0;  // paths with no file (worker never wrote one)
+  sched::MergeStats totals; // summed per-file stats
+  bool torn_tails = false;  // at least one journal ended mid-append
+};
+
+/// Merges every existing `paths` journal into `canonical` (in order; dedup
+/// by key, first occurrence wins), annotates the canonical journal with one
+/// `# fleet-merge ...` line per file, and unlinks successfully merged
+/// files. `log`, when set, receives one human-readable line per file.
+FleetMergeStats merge_worker_journals(
+    sched::ResultStore& canonical, const std::vector<std::string>& paths,
+    const std::function<void(const std::string&)>& log = nullptr);
+
+}  // namespace indigo::fleet

@@ -1,0 +1,106 @@
+#include "fleet/lease.hpp"
+
+#include <utility>
+
+namespace indigo::fleet {
+
+const char* to_string(ShardState s) {
+  switch (s) {
+    case ShardState::Unassigned: return "unassigned";
+    case ShardState::Leased: return "leased";
+    case ShardState::Done: return "done";
+  }
+  return "?";
+}
+
+LeaseTable::LeaseTable(std::vector<sched::ShardSpec> shards, double lease_s)
+    : lease_(std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(lease_s))) {
+  shards_.reserve(shards.size());
+  for (sched::ShardSpec& s : shards) {
+    total_cells_ += s.size();
+    shards_.push_back(Entry{std::move(s)});
+  }
+}
+
+std::optional<Lease> LeaseTable::acquire(int worker, TimePoint now) {
+  for (Entry& e : shards_) {
+    if (e.state != ShardState::Unassigned) continue;
+    e.state = ShardState::Leased;
+    e.worker = worker;
+    e.fence = next_fence_++;
+    e.deadline = now + lease_;
+    e.progress = 0;  // a reassigned shard restarts from its own journal
+    ++leased_;
+    return Lease{e.spec, e.fence};
+  }
+  return std::nullopt;
+}
+
+bool LeaseTable::heartbeat(std::uint32_t shard_id, std::uint64_t fence,
+                           std::size_t done_cells, TimePoint now) {
+  if (shard_id >= shards_.size()) return false;
+  Entry& e = shards_[shard_id];
+  if (e.state != ShardState::Leased || e.fence != fence) return false;
+  e.deadline = now + lease_;
+  e.progress = done_cells;
+  return true;
+}
+
+bool LeaseTable::complete(std::uint32_t shard_id, std::uint64_t fence) {
+  if (shard_id >= shards_.size()) return false;
+  Entry& e = shards_[shard_id];
+  if (e.state != ShardState::Leased || e.fence != fence) return false;
+  e.state = ShardState::Done;
+  e.progress = e.spec.size();
+  --leased_;
+  ++done_;
+  return true;
+}
+
+std::vector<LeaseRelease> LeaseTable::expire(TimePoint now) {
+  std::vector<LeaseRelease> out;
+  for (Entry& e : shards_) {
+    if (e.state != ShardState::Leased || e.deadline > now) continue;
+    out.push_back({e.spec.id, e.worker, e.fence, e.progress});
+    e.state = ShardState::Unassigned;
+    e.worker = -1;
+    e.progress = 0;  // forfeited: the shard restarts under its next lease
+    --leased_;
+    ++releases_;
+  }
+  return out;
+}
+
+std::vector<LeaseRelease> LeaseTable::release_worker(int worker) {
+  std::vector<LeaseRelease> out;
+  for (Entry& e : shards_) {
+    if (e.state != ShardState::Leased || e.worker != worker) continue;
+    out.push_back({e.spec.id, e.worker, e.fence, e.progress});
+    e.state = ShardState::Unassigned;
+    e.worker = -1;
+    e.progress = 0;  // forfeited: the shard restarts under its next lease
+    --leased_;
+    ++releases_;
+  }
+  return out;
+}
+
+std::size_t LeaseTable::done_cells() const {
+  std::size_t n = 0;
+  for (const Entry& e : shards_) {
+    n += e.state == ShardState::Done ? e.spec.size() : e.progress;
+  }
+  return n;
+}
+
+std::vector<LeaseTable::ShardView> LeaseTable::snapshot() const {
+  std::vector<ShardView> out;
+  out.reserve(shards_.size());
+  for (const Entry& e : shards_) {
+    out.push_back({e.spec, e.state, e.worker, e.fence, e.progress});
+  }
+  return out;
+}
+
+}  // namespace indigo::fleet

@@ -1,0 +1,111 @@
+// Fleet runtime, part 2: the shard lease table.
+//
+// Shards are handed out as time-bounded leases. A lease is renewed by
+// heartbeats; a worker that stops heartbeating (hung, SIGKILLed, network
+// gone) loses its lease at the deadline and the shard goes back to the
+// unassigned pool for the next lease_request. Every grant carries a
+// monotonically increasing *fence* token: messages about a shard that
+// arrive with a fence older than the current grant are from a worker that
+// already lost the lease and are rejected — the classic lease-fencing
+// discipline that makes reassignment safe even when the "dead" worker is
+// merely slow (its journal entries are deduplicated at merge time, so a
+// fenced completion wastes work but never corrupts the canonical store).
+//
+// The table is externally synchronized (the coordinator holds one mutex
+// over all connection state) and takes explicit time points, so lease
+// expiry is unit-testable with a fake clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sched/shard.hpp"
+
+namespace indigo::fleet {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+enum class ShardState : std::uint8_t { Unassigned, Leased, Done };
+const char* to_string(ShardState s);
+
+/// A granted lease: the shard plus its fence token.
+struct Lease {
+  sched::ShardSpec shard;
+  std::uint64_t fence = 0;
+};
+
+/// One released lease (expiry or connection death), for logging.
+struct LeaseRelease {
+  std::uint32_t shard_id = 0;
+  int worker = -1;
+  std::uint64_t fence = 0;
+  std::size_t progress = 0;  // cells the worker had reported done
+};
+
+class LeaseTable {
+ public:
+  LeaseTable(std::vector<sched::ShardSpec> shards, double lease_s);
+
+  /// Grants the lowest unassigned shard to `worker`, or nullopt when none
+  /// is free (distinguish via all_done()).
+  std::optional<Lease> acquire(int worker, TimePoint now);
+
+  /// Renews the lease and records progress. False when the fence is stale
+  /// or the shard is not leased — the sender lost the lease.
+  bool heartbeat(std::uint32_t shard_id, std::uint64_t fence,
+                 std::size_t done_cells, TimePoint now);
+
+  /// Marks the shard done. False when the fence is stale (the completion is
+  /// ignored; whoever holds the current lease finishes it).
+  bool complete(std::uint32_t shard_id, std::uint64_t fence);
+
+  /// Releases every leased shard whose deadline passed; they return to the
+  /// unassigned pool with a bumped fence on the next acquire.
+  std::vector<LeaseRelease> expire(TimePoint now);
+
+  /// Releases every lease held by `worker` immediately (its connection
+  /// died; no point waiting out the deadline).
+  std::vector<LeaseRelease> release_worker(int worker);
+
+  [[nodiscard]] bool all_done() const { return done_ == shards_.size(); }
+  [[nodiscard]] std::size_t total_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t done_shards() const { return done_; }
+  [[nodiscard]] std::size_t leased_shards() const { return leased_; }
+  [[nodiscard]] std::size_t total_cells() const { return total_cells_; }
+  /// Cells in completed shards plus live heartbeat progress.
+  [[nodiscard]] std::size_t done_cells() const;
+  /// Leases released by expiry or connection death (each one is a
+  /// reassignment once another worker acquires the shard).
+  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+
+  /// Per-shard view for the telemetry section.
+  struct ShardView {
+    sched::ShardSpec spec;
+    ShardState state = ShardState::Unassigned;
+    int worker = -1;
+    std::uint64_t fence = 0;
+    std::size_t progress = 0;
+  };
+  [[nodiscard]] std::vector<ShardView> snapshot() const;
+
+ private:
+  struct Entry {
+    sched::ShardSpec spec;
+    ShardState state = ShardState::Unassigned;
+    int worker = -1;
+    std::uint64_t fence = 0;  // fence of the current/last grant
+    TimePoint deadline{};
+    std::size_t progress = 0;
+  };
+  std::vector<Entry> shards_;
+  std::chrono::steady_clock::duration lease_{};
+  std::size_t done_ = 0;
+  std::size_t leased_ = 0;
+  std::size_t total_cells_ = 0;
+  std::uint64_t next_fence_ = 1;  // 0 is never a valid fence
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace indigo::fleet

@@ -1,0 +1,260 @@
+#include "fleet/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace indigo::fleet {
+namespace {
+
+bool read_exact(int fd, char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-read
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string sanitize(std::string v) {
+  for (char& c : v) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string Message::get(const std::string& key,
+                         const std::string& dflt) const {
+  const auto it = fields.find(key);
+  return it == fields.end() ? dflt : it->second;
+}
+
+long long Message::geti(const std::string& key, long long dflt) const {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return dflt;
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(it->second, &used);
+    return used == it->second.size() ? v : dflt;
+  } catch (const std::exception&) {
+    return dflt;
+  }
+}
+
+Message& Message::set(const std::string& key, std::string value) {
+  fields[key] = sanitize(std::move(value));
+  return *this;
+}
+
+Message& Message::seti(const std::string& key, long long value) {
+  fields[key] = std::to_string(value);
+  return *this;
+}
+
+std::string encode_message(const Message& m) {
+  std::string out = sanitize(m.type);
+  for (const auto& [k, v] : m.fields) {
+    out += '\n';
+    out += sanitize(k);
+    out += '\t';
+    out += sanitize(v);
+  }
+  return out;
+}
+
+std::optional<Message> decode_message(const std::string& payload) {
+  std::istringstream is(payload);
+  Message m;
+  if (!std::getline(is, m.type) || m.type.empty()) return std::nullopt;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) continue;  // tolerate junk
+    m.fields[line.substr(0, tab)] = line.substr(tab + 1);
+  }
+  return m;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xff),
+                    static_cast<char>((len >> 8) & 0xff),
+                    static_cast<char>((len >> 16) & 0xff),
+                    static_cast<char>((len >> 24) & 0xff)};
+  // One buffer, one write path: a frame is never half-prefixed on the wire
+  // from this thread's perspective (the FrameWriter serializes threads).
+  std::string buf(prefix, 4);
+  buf += payload;
+  return write_all(fd, buf.data(), buf.size());
+}
+
+std::optional<std::string> read_frame(int fd, std::size_t max_len) {
+  char prefix[4];
+  if (!read_exact(fd, prefix, 4)) return std::nullopt;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0])) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1])) << 8 |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2])) << 16 |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3])) << 24;
+  if (len > max_len) return std::nullopt;
+  std::string payload(len, '\0');
+  if (len > 0 && !read_exact(fd, payload.data(), len)) return std::nullopt;
+  return payload;
+}
+
+bool write_message(int fd, const Message& m) {
+  return write_frame(fd, encode_message(m));
+}
+
+std::optional<Message> read_message(int fd) {
+  const auto payload = read_frame(fd);
+  if (!payload) return std::nullopt;
+  return decode_message(*payload);
+}
+
+std::optional<ListenSocket> listen_local() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-assigned
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  return ListenSocket{fd, ntohs(addr.sin_port)};
+}
+
+int accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int connect_to(const std::string& host, std::uint16_t port,
+               double timeout_s) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return -1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+struct FrameWriter::Impl {
+  int fd;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> queue;
+  bool stop = false;
+  std::atomic<bool> failed{false};
+  std::thread thread;
+
+  explicit Impl(int fd_in) : fd(fd_in) {
+    thread = std::thread([this] { loop(); });
+  }
+
+  void loop() {
+    std::unique_lock lk(mu);
+    for (;;) {
+      cv.wait(lk, [&] { return stop || !queue.empty(); });
+      if (queue.empty()) break;  // stop requested and flushed
+      const std::string payload = std::move(queue.front());
+      queue.pop_front();
+      lk.unlock();
+      if (!failed.load(std::memory_order_relaxed) &&
+          !write_frame(fd, payload)) {
+        failed.store(true, std::memory_order_relaxed);
+      }
+      lk.lock();
+    }
+  }
+};
+
+FrameWriter::FrameWriter(int fd) : impl_(new Impl(fd)) {}
+
+FrameWriter::~FrameWriter() {
+  close();
+  delete impl_;
+}
+
+void FrameWriter::send(const Message& m) {
+  if (impl_->failed.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard lk(impl_->mu);
+    if (impl_->stop) return;
+    impl_->queue.push_back(encode_message(m));
+  }
+  impl_->cv.notify_one();
+}
+
+void FrameWriter::close() {
+  {
+    std::lock_guard lk(impl_->mu);
+    if (impl_->stop && !impl_->thread.joinable()) return;
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+bool FrameWriter::failed() const {
+  return impl_->failed.load(std::memory_order_relaxed);
+}
+
+}  // namespace indigo::fleet

@@ -1,0 +1,104 @@
+// Fleet runtime, part 1: the wire protocol.
+//
+// Coordinator and worker daemons talk over a local TCP socket (loopback by
+// default; the same framing works for remote peers) using length-prefixed
+// frames: a 4-byte little-endian payload length, then the payload. The
+// payload is a line-oriented text message — first line the message type,
+// then one `key<TAB>value` line per field — chosen over a binary encoding
+// for the same reason the result journal is text: torn or unexpected frames
+// are debuggable with `xxd`.
+//
+// Writes go through a FrameWriter with a dedicated writer thread draining a
+// queue (the pocl remote-device daemon pattern): a worker's heartbeat can
+// never block behind a slow socket while its shard is executing, and frame
+// boundaries are preserved without any cross-thread write interleaving.
+//
+// Message vocabulary (fields in parentheses):
+//
+//   worker -> coordinator
+//     hello        (rank, pid, journal, cells)    — register; cells is the
+//                                                   local enumeration size
+//     lease_request(rank)                         — ask for a shard
+//     heartbeat    (shard, fence, done)           — renew lease, progress
+//     shard_done   (shard, fence, executed, hits, quarantined)
+//     bye          (rank)                         — clean exit
+//
+//   coordinator -> worker
+//     hello_ack    (lease_s, shards, cells)       — config echo; a cells
+//                                                   mismatch is fatal
+//     lease        (shard, begin, end, fence)     — a time-bounded lease
+//     wait         (ms)                           — nothing free; retry
+//     drain        ()                             — no work left; exit
+//     fenced       (shard, fence)                 — lease expired and was
+//                                                   reassigned; drop it
+//     error        (reason)                       — fatal; close
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace indigo::fleet {
+
+/// One decoded protocol message: a type plus string fields. Field values
+/// are sanitized on encode (tabs/newlines become spaces) so a path or error
+/// text can never splice the line format.
+struct Message {
+  std::string type;
+  std::map<std::string, std::string> fields;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& dflt = {}) const;
+  [[nodiscard]] long long geti(const std::string& key,
+                               long long dflt = 0) const;
+  Message& set(const std::string& key, std::string value);
+  Message& seti(const std::string& key, long long value);
+};
+
+/// Message <-> frame payload. decode returns nullopt on an empty payload.
+std::string encode_message(const Message& m);
+std::optional<Message> decode_message(const std::string& payload);
+
+/// Writes one length-prefixed frame; false on any write error.
+bool write_frame(int fd, const std::string& payload);
+/// Reads one frame; nullopt on EOF, error, or a length above `max_len`
+/// (a corrupt prefix must not trigger a giant allocation).
+std::optional<std::string> read_frame(int fd, std::size_t max_len = 1 << 20);
+
+bool write_message(int fd, const Message& m);
+std::optional<Message> read_message(int fd);
+
+/// A listening TCP socket on 127.0.0.1 with a kernel-assigned port.
+struct ListenSocket {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+std::optional<ListenSocket> listen_local();
+/// Accepts one connection; -1 on error. Blocks.
+int accept_connection(int listen_fd);
+/// Connects to host:port, retrying until timeout_s elapses (covers a worker
+/// racing the coordinator's listen). -1 on failure.
+int connect_to(const std::string& host, std::uint16_t port, double timeout_s);
+
+/// Dedicated writer thread over one socket: send() enqueues and returns
+/// immediately; the thread drains the queue in order. After a write error
+/// failed() turns true and further sends are dropped. close() flushes the
+/// queue, joins the thread, and leaves the fd open (the owner closes it).
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd);
+  ~FrameWriter();
+  FrameWriter(const FrameWriter&) = delete;
+  FrameWriter& operator=(const FrameWriter&) = delete;
+
+  void send(const Message& m);
+  void close();
+  [[nodiscard]] bool failed() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace indigo::fleet

@@ -1,0 +1,217 @@
+#include "fleet/worker.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "fleet/protocol.hpp"
+
+namespace indigo::fleet {
+
+namespace {
+
+// Mailbox shared between the socket reader thread and the main loop.
+// `fenced` replies are routed out-of-band: the main thread is busy inside
+// run_shard when one arrives, and the heartbeat thread needs to see it
+// without draining the mailbox.
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> box;
+  bool eof = false;
+
+  // Current lease, for fencing. shard == -1 means no lease held.
+  std::atomic<long long> shard{-1};
+  std::atomic<unsigned long long> fence{0};
+  std::atomic<bool> fenced{false};
+
+  std::optional<Message> wait_any() {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [this] { return eof || !box.empty(); });
+    if (box.empty()) return std::nullopt;  // eof
+    Message m = std::move(box.front());
+    box.pop_front();
+    return m;
+  }
+};
+
+void reader_loop(int fd, Mailbox& mb) {
+  while (true) {
+    auto m = read_message(fd);
+    if (!m) break;
+    if (m->type == "fenced") {
+      if (m->geti("shard") == mb.shard.load() &&
+          static_cast<unsigned long long>(m->geti("fence")) ==
+              mb.fence.load()) {
+        mb.fenced.store(true);
+      }
+      continue;
+    }
+    {
+      std::lock_guard lk(mb.mu);
+      mb.box.push_back(std::move(*m));
+    }
+    mb.cv.notify_all();
+  }
+  {
+    std::lock_guard lk(mb.mu);
+    mb.eof = true;
+  }
+  mb.cv.notify_all();
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  const auto say = [&opts](const std::string& s) {
+    if (opts.log) opts.log(s);
+  };
+
+  const int fd = connect_to(opts.host, opts.port, opts.connect_timeout_s);
+  if (fd < 0) {
+    say("fleet worker w" + std::to_string(opts.rank) +
+        ": cannot connect to coordinator");
+    return 2;
+  }
+  Mailbox mb;
+  std::thread reader([fd, &mb] { reader_loop(fd, mb); });
+  FrameWriter writer(fd);
+
+  const auto finish = [&](int code) {
+    writer.close();
+    ::shutdown(fd, SHUT_RDWR);
+    reader.join();
+    ::close(fd);
+    return code;
+  };
+
+  Message hello;
+  hello.type = "hello";
+  hello.seti("rank", opts.rank);
+  hello.seti("pid", static_cast<long long>(::getpid()));
+  hello.set("journal", opts.journal);
+  hello.seti("cells", static_cast<long long>(opts.total_cells));
+  writer.send(hello);
+
+  auto ack = mb.wait_any();
+  if (!ack || ack->type == "error") {
+    say("fleet worker w" + std::to_string(opts.rank) + ": " +
+        (ack ? "rejected: " + ack->get("reason")
+             : "coordinator closed the connection before hello_ack"));
+    return finish(3);
+  }
+  if (ack->type != "hello_ack") {
+    say("fleet worker w" + std::to_string(opts.rank) +
+        ": unexpected reply to hello: " + ack->type);
+    return finish(3);
+  }
+  double lease_s = std::strtod(ack->get("lease_s", "10").c_str(), nullptr);
+  if (!(lease_s > 0)) lease_s = 10.0;
+
+  while (true) {
+    Message req;
+    req.type = "lease_request";
+    req.seti("rank", opts.rank);
+    writer.send(req);
+
+    auto m = mb.wait_any();
+    if (!m) {
+      say("fleet worker w" + std::to_string(opts.rank) +
+          ": coordinator gone; exiting");
+      return finish(4);
+    }
+    if (m->type == "drain") {
+      Message bye;
+      bye.type = "bye";
+      bye.seti("rank", opts.rank);
+      writer.send(bye);
+      say("fleet worker w" + std::to_string(opts.rank) + ": drained");
+      return finish(0);
+    }
+    if (m->type == "wait") {
+      const long long ms = m->geti("ms", 100);
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      continue;
+    }
+    if (m->type == "error") {
+      say("fleet worker w" + std::to_string(opts.rank) +
+          ": coordinator error: " + m->get("reason"));
+      return finish(3);
+    }
+    if (m->type != "lease") {
+      say("fleet worker w" + std::to_string(opts.rank) +
+          ": ignoring unexpected message: " + m->type);
+      continue;
+    }
+
+    sched::ShardSpec spec;
+    spec.id = static_cast<std::uint32_t>(m->geti("shard"));
+    spec.begin = static_cast<std::size_t>(m->geti("begin"));
+    spec.end = static_cast<std::size_t>(m->geti("end"));
+    const auto fence = static_cast<unsigned long long>(m->geti("fence"));
+    mb.fenced.store(false);
+    mb.fence.store(fence);
+    mb.shard.store(spec.id);
+
+    {
+      std::ostringstream os;
+      os << "fleet worker w" << opts.rank << ": running shard " << spec.id
+         << " [" << spec.begin << "," << spec.end << ") fence " << fence;
+      say(os.str());
+    }
+
+    // Heartbeat at a third of the lease period while run_shard executes.
+    std::atomic<std::size_t> progress{0};
+    std::atomic<bool> hb_stop{false};
+    std::thread hb([&] {
+      const auto period = std::chrono::duration<double>(lease_s / 3.0);
+      while (!hb_stop.load()) {
+        Message beat;
+        beat.type = "heartbeat";
+        beat.seti("shard", spec.id);
+        beat.seti("fence", static_cast<long long>(fence));
+        beat.seti("done", static_cast<long long>(progress.load()));
+        writer.send(beat);
+        const auto deadline = std::chrono::steady_clock::now() + period;
+        while (!hb_stop.load() &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+    });
+
+    ShardOutcome out = opts.run_shard(spec, progress);
+    hb_stop.store(true);
+    hb.join();
+    mb.shard.store(-1);
+
+    if (mb.fenced.load()) {
+      // Lost the lease mid-shard: the coordinator already reassigned it.
+      // Local journal entries are harmless (deduplicated at merge time) but
+      // the completion must not be reported.
+      std::ostringstream os;
+      os << "fleet worker w" << opts.rank << ": shard " << spec.id
+         << " was fenced (fence " << fence
+         << "); dropping local completion";
+      say(os.str());
+      continue;
+    }
+    Message done;
+    done.type = "shard_done";
+    done.seti("shard", spec.id);
+    done.seti("fence", static_cast<long long>(fence));
+    done.seti("executed", static_cast<long long>(out.executed));
+    done.seti("hits", static_cast<long long>(out.hits));
+    done.seti("quarantined", static_cast<long long>(out.quarantined));
+    writer.send(done);
+  }
+}
+
+}  // namespace indigo::fleet

@@ -1,0 +1,57 @@
+// Fleet runtime, part 5: the worker daemon loop.
+//
+// A worker connects to the coordinator, registers with hello, then loops:
+// request a lease, run the shard through the caller-supplied run_shard
+// callback (the sweep binary wires this to the in-process Executor over its
+// own journaled ResultStore), heartbeat at a third of the lease period
+// while the shard executes, and report shard_done. A `fenced` reply to a
+// heartbeat means the lease was lost (the coordinator reassigned the
+// shard); the worker finishes or abandons locally but must not report the
+// shard done. `drain` means no work is left: say bye and exit 0.
+//
+// run_worker never touches graphs itself — the callback owns all sweep
+// state — so this file stays transport-only and testable with a synthetic
+// deterministic run_shard.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sched/shard.hpp"
+
+namespace indigo::fleet {
+
+/// What one shard run produced, in cells. executed + hits + quarantined
+/// must equal the shard size when ok.
+struct ShardOutcome {
+  std::size_t executed = 0;
+  std::size_t hits = 0;
+  std::size_t quarantined = 0;
+};
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int rank = 0;
+  /// Reported in hello; the coordinator collects it for the merge list.
+  std::string journal;
+  /// Local cell-enumeration size; a mismatch with the coordinator's count
+  /// is fatal (config drift between the two processes).
+  std::size_t total_cells = 0;
+  double connect_timeout_s = 10.0;
+  /// Runs one shard. Must bump `progress` as cells finish (the heartbeat
+  /// thread reads it); called on the worker main thread.
+  std::function<ShardOutcome(const sched::ShardSpec&,
+                             std::atomic<std::size_t>&)>
+      run_shard;
+  /// One human-readable line per event. May be null.
+  std::function<void(const std::string&)> log;
+};
+
+/// Runs the daemon loop until drain (returns 0) or a fatal error — connect
+/// failure, cell-count mismatch, coordinator gone (returns nonzero).
+int run_worker(const WorkerOptions& opts);
+
+}  // namespace indigo::fleet

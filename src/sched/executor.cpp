@@ -1,5 +1,7 @@
 #include "sched/executor.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,6 +67,7 @@ struct SchedCounters {
 
 struct Executor::RunState {
   const JobGraph* graph = nullptr;
+  std::string proc_label;  // process-level worker id (fleet rank or pid)
 
   std::mutex mu;
   std::condition_variable work_cv;  // workers wait here for jobs
@@ -121,7 +124,8 @@ struct Executor::RunState {
     std::lock_guard lk(mu);
     const Progress p = progress_locked();
     obs::JsonObject o;
-    o.field("jobs", static_cast<std::uint64_t>(p.total))
+    o.field("worker", std::string_view(proc_label))
+        .field("jobs", static_cast<std::uint64_t>(p.total))
         .field("done", static_cast<std::uint64_t>(p.done))
         .field("running", static_cast<std::uint64_t>(p.running))
         .field("quarantined", static_cast<std::uint64_t>(p.quarantined))
@@ -191,6 +195,9 @@ std::vector<JobStatus> Executor::run(const JobGraph& graph) {
   const std::size_t n = graph.size();
   RunState rs;
   rs.graph = &graph;
+  rs.proc_label = opts_.worker_label.empty()
+                      ? "pid" + std::to_string(::getpid())
+                      : opts_.worker_label;
   rs.status.assign(n, JobStatus{});
   rs.dependents.assign(n, {});
   rs.unmet.assign(n, 0);
@@ -225,6 +232,7 @@ std::vector<JobStatus> Executor::run(const JobGraph& graph) {
   obs::Span span("executor.run", "sched");
   span.arg("jobs", static_cast<double>(n));
   span.arg("workers", static_cast<double>(workers_));
+  span.arg("proc", rs.proc_label);
   // The "executor" telemetry section lives exactly as long as this run's
   // RunState (the callback captures it by reference).
   obs::telemetry_register_section(
@@ -348,6 +356,7 @@ void Executor::execute(RunState& rs, int w, JobId id) {
   span.arg("class", std::string(to_string(job.exec_class)));
   span.arg("attempt", static_cast<double>(attempt));
   span.arg("worker", static_cast<double>(w));
+  span.arg("proc", rs.proc_label);
   if (span.active()) span.arg("trace_id", job_trace_id(job.name));
 
   const JobContext ctx{id, attempt, token};

@@ -60,6 +60,11 @@ struct ExecutorOptions {
   /// run() is active, and once more just before run() returns.
   std::function<void(const Progress&)> on_progress;
   double progress_interval_s = 0.5;
+  /// Process-level worker identity ("w3" for fleet rank 3) attached to every
+  /// job span as the "proc" arg and to the executor telemetry section, so
+  /// merged traces from many worker processes attribute time per worker, not
+  /// just per thread. Empty = "pid<pid>".
+  std::string worker_label;
 };
 
 class Executor {

@@ -62,6 +62,11 @@ struct Job {
   int max_retries = 0;
   /// Base delay before a retry; attempt k waits k * retry_backoff_s.
   double retry_backoff_s = 0.05;
+  /// Cell index in the sweep's deterministic cell enumeration, or -1 for
+  /// infrastructure jobs. Tagged jobs are the unit of fleet sharding
+  /// (shard.hpp): a worker process rebuilds the enumeration locally and
+  /// runs only the cells inside its leased [begin, end) range.
+  std::int64_t shard_cell = -1;
 };
 
 enum class JobState : std::uint8_t {

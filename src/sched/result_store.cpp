@@ -1,6 +1,7 @@
 #include "sched/result_store.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -9,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 namespace indigo::sched {
@@ -59,6 +61,11 @@ void fsync_parent_dir(const std::string& path) {
     ::close(dfd);
   }
 }
+
+/// Takes the advisory writer lock on an open journal descriptor. Advisory
+/// only — every writer in this codebase goes through ResultStore, so two
+/// cooperating processes can never interleave appends; a reader never locks.
+bool try_lock_journal(int fd) { return ::flock(fd, LOCK_EX | LOCK_NB) == 0; }
 
 bool write_all(int fd, const char* data, std::size_t len) {
   while (len > 0) {
@@ -158,6 +165,18 @@ ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
               << std::strerror(errno) << "; results will not persist\n";
     return;
   }
+  // Fail fast if another process already appends to this journal: two
+  // writers would silently interleave (and double-repair) records. Fleet
+  // workers get their own per-rank journal files precisely so they never
+  // contend here.
+  if (!try_lock_journal(fd_)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(
+        "result journal '" + path_ +
+        "' is already open for appending in another process (advisory flock "
+        "held); point REPRO_CACHE at a distinct file per process");
+  }
   // Repair a torn tail (kill mid-write) by truncating it away - it was
   // dropped from memory above, so leaving the bytes would resurrect the
   // incomplete line on the next load. Stamp the header on new journals.
@@ -230,10 +249,88 @@ bool ResultStore::checkpoint() {
     return false;
   }
   if (fsync_) fsync_parent_dir(path_);
-  // The append descriptor still points at the replaced inode; reopen.
+  // The append descriptor still points at the replaced inode; reopen (and
+  // re-take the writer lock, which lived on the old inode).
   if (fd_ >= 0) ::close(fd_);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd_ >= 0 && !try_lock_journal(fd_)) {
+    std::cerr << "[warn] checkpoint: lost the journal lock on " << path_
+              << " across the rename; another process opened it\n";
+  }
   return true;
+}
+
+std::size_t ResultStore::preload(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const bool torn = !text.empty() && text.back() != '\n';
+  std::istringstream is(text);
+  std::string line;
+  std::size_t added = 0;
+  std::lock_guard lk(mu_);
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    if (torn && is.eof()) break;  // same discipline as open-time repair
+    const auto parsed = decode_line(line);
+    if (!parsed) continue;
+    added += entries_.emplace(parsed->first, parsed->second).second ? 1 : 0;
+  }
+  return added;
+}
+
+MergeStats ResultStore::merge_from_file(const std::string& path) {
+  MergeStats st;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return st;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  st.torn_tail = !text.empty() && text.back() != '\n';
+  std::istringstream is(text);
+  std::string line;
+  std::lock_guard lk(mu_);
+  // Batch durability: suppress the per-append fsync for the bulk of the
+  // merge and sync once at the end. The caller unlinks the source journal
+  // only after we return, so a crash mid-merge still has every entry in
+  // the source file.
+  const bool fsync_entries = fsync_;
+  fsync_ = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (st.torn_tail && is.eof()) break;  // killed mid-append: drop the tail
+    if (line.front() == '#') {
+      // Preserve annotations (quarantine audit trails with their flight-dump
+      // references); the schema header is the one comment that is not one.
+      if (line.rfind("# ", 0) == 0) {
+        append_line(line + '\n');
+        ++st.comments;
+      }
+      continue;
+    }
+    auto parsed = decode_line(line);
+    if (!parsed) {
+      ++st.malformed;
+      continue;
+    }
+    const auto it = entries_.find(parsed->first);
+    if (it != entries_.end()) {
+      // Dedup by job key: the canonical entry wins. A fenced worker that
+      // finished a reassigned shard anyway lands here — for model-timed
+      // measurements both values are identical (duplicates); a differing
+      // wall-clock value is counted as a conflict but never replaces the
+      // canonical one.
+      ++(it->second == parsed->second ? st.duplicates : st.conflicts);
+      continue;
+    }
+    append_line(encode_line(parsed->first, parsed->second));
+    entries_.emplace(std::move(parsed->first), std::move(parsed->second));
+    ++appended_;
+    ++st.merged;
+  }
+  fsync_ = fsync_entries;
+  if (fsync_ && fd_ >= 0) ::fsync(fd_);
+  return st;
 }
 
 std::size_t ResultStore::size() const {

@@ -1,0 +1,48 @@
+#include "sched/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace indigo::sched {
+
+std::vector<ShardSpec> make_shard_plan(std::size_t cells,
+                                       std::size_t target_shards) {
+  std::vector<ShardSpec> plan;
+  if (cells == 0) return plan;
+  const std::size_t n = std::min(cells, std::max<std::size_t>(1, target_shards));
+  plan.reserve(n);
+  const std::size_t base = cells / n;
+  const std::size_t extra = cells % n;  // the first `extra` shards get +1
+  std::size_t at = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    ShardSpec spec;
+    spec.id = static_cast<std::uint32_t>(s);
+    spec.begin = at;
+    at += base + (s < extra ? 1 : 0);
+    spec.end = at;
+    plan.push_back(spec);
+  }
+  return plan;
+}
+
+std::vector<ShardSpec> extract_shards(const JobGraph& graph,
+                                      std::size_t target_shards) {
+  std::vector<std::int64_t> tags;
+  for (JobId j = 0; j < graph.size(); ++j) {
+    const std::int64_t c = graph.job(j).shard_cell;
+    if (c >= 0) tags.push_back(c);
+  }
+  std::sort(tags.begin(), tags.end());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] != static_cast<std::int64_t>(i)) {
+      throw std::invalid_argument(
+          "extract_shards: shard_cell tags must be the dense range 0..n-1 "
+          "(got " + std::to_string(tags[i]) + " at position " +
+          std::to_string(i) + ")");
+    }
+  }
+  return make_shard_plan(tags.size(), target_shards);
+}
+
+}  // namespace indigo::sched

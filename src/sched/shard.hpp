@@ -1,0 +1,48 @@
+// Sweep runtime, part 4: shard extraction for multi-process fleets.
+//
+// A fleet run (src/fleet) splits the sweep's independent measurement cells
+// across worker *processes*. Closures cannot cross a process boundary, so a
+// shard is described declaratively: a contiguous [begin, end) range over the
+// deterministic cell enumeration both sides reconstruct from the registry
+// (same model/algo filter, same graph order). Jobs opt into sharding by
+// tagging themselves with their cell index (Job::shard_cell); infrastructure
+// jobs (materialize, aggregate, report) stay untagged and are rebuilt by
+// every worker locally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sched/job_graph.hpp"
+
+namespace indigo::sched {
+
+/// One contiguous slice of the sweep's cell enumeration, the unit of lease
+/// assignment in a fleet run.
+struct ShardSpec {
+  std::uint32_t id = 0;
+  std::size_t begin = 0;  // first cell index (inclusive)
+  std::size_t end = 0;    // past-the-end cell index
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+/// Splits `cells` cell indices into at most `target_shards` contiguous
+/// shards of near-equal size (larger shards first, sizes differ by at most
+/// one). Returns an empty plan for zero cells; target_shards is clamped to
+/// at least 1.
+std::vector<ShardSpec> make_shard_plan(std::size_t cells,
+                                       std::size_t target_shards);
+
+/// Extracts the shard plan from a built sweep JobGraph: collects every job
+/// tagged with a shard_cell, validates that the tags are exactly the dense
+/// range 0..n-1 (the deterministic enumeration contract a worker process
+/// relies on to rebuild the same cells), and partitions them with
+/// make_shard_plan. Throws std::invalid_argument on duplicate or non-dense
+/// tags.
+std::vector<ShardSpec> extract_shards(const JobGraph& graph,
+                                      std::size_t target_shards);
+
+}  // namespace indigo::sched

@@ -1,0 +1,487 @@
+// Fleet runtime tests (src/fleet): wire-protocol round-trips and framing
+// guards, shard-plan extraction, lease expiry/fencing on a fake clock,
+// worker-journal merging, and a fork-based fault-tolerance test that
+// SIGKILLs a worker mid-shard and asserts the merged canonical store is
+// identical to what a sequential run would have produced.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fleet/coordinator.hpp"
+#include "fleet/journal_merge.hpp"
+#include "fleet/lease.hpp"
+#include "fleet/protocol.hpp"
+#include "fleet/worker.hpp"
+#include "sched/job_graph.hpp"
+#include "sched/result_store.hpp"
+#include "sched/shard.hpp"
+
+namespace indigo::fleet {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- protocol
+
+TEST(FleetProtocol, MessageEncodeDecodeRoundTrips) {
+  Message m;
+  m.type = "lease";
+  m.seti("shard", 3).seti("begin", 10).seti("end", 25).seti("fence", 7);
+  m.set("note", "free text");
+  const auto back = decode_message(encode_message(m));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, "lease");
+  EXPECT_EQ(back->geti("shard"), 3);
+  EXPECT_EQ(back->geti("begin"), 10);
+  EXPECT_EQ(back->geti("end"), 25);
+  EXPECT_EQ(back->geti("fence"), 7);
+  EXPECT_EQ(back->get("note"), "free text");
+  EXPECT_EQ(back->get("missing", "dflt"), "dflt");
+  EXPECT_EQ(back->geti("missing", -1), -1);
+}
+
+TEST(FleetProtocol, EncodeSanitizesTabsAndNewlinesInValues) {
+  Message m;
+  m.type = "hello";
+  m.set("journal", "path\twith\ntabs\rand newlines");
+  const auto back = decode_message(encode_message(m));
+  ASSERT_TRUE(back.has_value());
+  // The value survives as one field (spaces instead of separators), so a
+  // hostile path can never splice extra fields into the message.
+  EXPECT_EQ(back->get("journal"), "path with tabs and newlines");
+  EXPECT_EQ(back->fields.size(), 1u);
+}
+
+TEST(FleetProtocol, DecodeRejectsAnEmptyPayload) {
+  EXPECT_FALSE(decode_message("").has_value());
+}
+
+TEST(FleetProtocol, FramesRoundTripOverASocketPair) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  EXPECT_TRUE(write_frame(sv[0], "first"));
+  EXPECT_TRUE(write_frame(sv[0], ""));  // empty payloads are legal frames
+  EXPECT_TRUE(write_frame(sv[0], "second"));
+  EXPECT_EQ(read_frame(sv[1]).value_or("?"), "first");
+  EXPECT_EQ(read_frame(sv[1]).value_or("?"), "");
+  EXPECT_EQ(read_frame(sv[1]).value_or("?"), "second");
+  ::close(sv[0]);
+  EXPECT_FALSE(read_frame(sv[1]).has_value());  // EOF
+  ::close(sv[1]);
+}
+
+TEST(FleetProtocol, ReadFrameRejectsAnOversizedLengthPrefix) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // A corrupt 4-byte little-endian prefix claiming 2 MiB must not trigger
+  // a giant allocation: read_frame caps at max_len and bails.
+  const unsigned char huge[4] = {0x00, 0x00, 0x20, 0x00};  // 0x200000
+  ASSERT_EQ(::write(sv[0], huge, 4), 4);
+  EXPECT_FALSE(read_frame(sv[1], 1 << 20).has_value());
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(FleetProtocol, FrameWriterPreservesOrderAndBoundaries) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  {
+    FrameWriter w(sv[0]);
+    for (int i = 0; i < 50; ++i) {
+      Message m;
+      m.type = "heartbeat";
+      m.seti("seq", i);
+      w.send(m);
+    }
+    w.close();  // flushes the queue and joins the writer thread
+    EXPECT_FALSE(w.failed());
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto m = read_message(sv[1]);
+    ASSERT_TRUE(m.has_value()) << "frame " << i;
+    EXPECT_EQ(m->type, "heartbeat");
+    EXPECT_EQ(m->geti("seq"), i);
+  }
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(FleetProtocol, ListenConnectAndMessagesOverLoopback) {
+  const auto listener = listen_local();
+  ASSERT_TRUE(listener.has_value());
+  ASSERT_GT(listener->port, 0);
+  int accepted = -1;
+  std::thread acceptor(
+      [&] { accepted = accept_connection(listener->fd); });
+  const int fd = connect_to("127.0.0.1", listener->port, 5.0);
+  ASSERT_GE(fd, 0);
+  acceptor.join();
+  ASSERT_GE(accepted, 0);
+  Message m;
+  m.type = "hello";
+  m.seti("rank", 2);
+  EXPECT_TRUE(write_message(fd, m));
+  const auto got = read_message(accepted);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, "hello");
+  EXPECT_EQ(got->geti("rank"), 2);
+  ::close(fd);
+  ::close(accepted);
+  ::close(listener->fd);
+}
+
+// ------------------------------------------------------------------ shards
+
+TEST(FleetShards, PlanCoversEveryCellWithBalancedContiguousShards) {
+  const auto plan = sched::make_shard_plan(10, 3);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0], (sched::ShardSpec{0, 0, 4}));  // larger shards first
+  EXPECT_EQ(plan[1], (sched::ShardSpec{1, 4, 7}));
+  EXPECT_EQ(plan[2], (sched::ShardSpec{2, 7, 10}));
+}
+
+TEST(FleetShards, PlanClampsDegenerateShapes) {
+  EXPECT_TRUE(sched::make_shard_plan(0, 4).empty());
+  EXPECT_EQ(sched::make_shard_plan(5, 0).size(), 1u);    // at least one
+  EXPECT_EQ(sched::make_shard_plan(3, 100).size(), 3u);  // never empty shards
+}
+
+TEST(FleetShards, ExtractValidatesTheDenseCellEnumeration) {
+  sched::JobGraph jg;
+  const auto noop = [](const sched::JobContext&) {};
+  for (int c = 4; c >= 0; --c) {  // tag order must not matter
+    sched::Job j;
+    j.name = "cell" + std::to_string(c);
+    j.work = noop;
+    j.shard_cell = c;
+    jg.add(std::move(j));
+  }
+  sched::Job infra;  // untagged jobs are not sharded
+  infra.name = "aggregate";
+  infra.work = noop;
+  jg.add(std::move(infra));
+  const auto plan = sched::extract_shards(jg, 2);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.front().begin, 0u);
+  EXPECT_EQ(plan.back().end, 5u);
+
+  sched::Job dup;  // duplicate tag: the enumeration is broken
+  dup.name = "cell0-again";
+  dup.work = noop;
+  dup.shard_cell = 0;
+  jg.add(std::move(dup));
+  EXPECT_THROW(sched::extract_shards(jg, 2), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ leases
+
+class FleetLease : public testing::Test {
+ protected:
+  // A fake clock: an arbitrary epoch plus explicit offsets. The table only
+  // compares the points it is handed, so tests never sleep.
+  static TimePoint at(double s) {
+    return TimePoint{} + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(100.0 + s));
+  }
+};
+
+TEST_F(FleetLease, GrantsLowestShardFirstWithMonotonicFences) {
+  LeaseTable t(sched::make_shard_plan(30, 3), 10.0);
+  const auto a = t.acquire(0, at(0));
+  const auto b = t.acquire(1, at(0));
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->shard.id, 0u);
+  EXPECT_EQ(b->shard.id, 1u);
+  EXPECT_GE(a->fence, 1u);  // 0 is never a valid fence
+  EXPECT_GT(b->fence, a->fence);
+  EXPECT_EQ(t.leased_shards(), 2u);
+  const auto c = t.acquire(0, at(0));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->shard.id, 2u);
+  EXPECT_FALSE(t.acquire(1, at(0)).has_value());  // pool empty
+  EXPECT_FALSE(t.all_done());
+}
+
+TEST_F(FleetLease, HeartbeatsRenewTheDeadline) {
+  LeaseTable t(sched::make_shard_plan(10, 1), 10.0);
+  const auto l = t.acquire(0, at(0));
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(t.heartbeat(0, l->fence, 4, at(8)));  // deadline -> 18
+  EXPECT_TRUE(t.expire(at(12)).empty());            // would have expired
+  EXPECT_EQ(t.done_cells(), 4u);                    // progress recorded
+  const auto released = t.expire(at(19));           // no beat since 8
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].shard_id, 0u);
+  EXPECT_EQ(released[0].worker, 0);
+  EXPECT_EQ(released[0].progress, 4u);
+  EXPECT_EQ(t.releases(), 1u);
+  EXPECT_EQ(t.done_cells(), 0u);  // lost leases forfeit their progress
+}
+
+TEST_F(FleetLease, ExpiryFencesTheOldHolderAndReassigns) {
+  LeaseTable t(sched::make_shard_plan(10, 1), 10.0);
+  const auto old = t.acquire(7, at(0));
+  ASSERT_TRUE(old.has_value());
+  ASSERT_EQ(t.expire(at(11)).size(), 1u);  // lease lapsed
+
+  // The shard returns to the pool; the new grant carries a higher fence.
+  const auto fresh = t.acquire(8, at(12));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->shard.id, 0u);
+  EXPECT_GT(fresh->fence, old->fence);
+
+  // Everything the old holder says about the shard is now rejected: its
+  // heartbeats, and crucially its completion — only the current holder may
+  // mark the shard done.
+  EXPECT_FALSE(t.heartbeat(0, old->fence, 9, at(13)));
+  EXPECT_FALSE(t.complete(0, old->fence));
+  EXPECT_EQ(t.done_shards(), 0u);
+  EXPECT_TRUE(t.complete(0, fresh->fence));
+  EXPECT_EQ(t.done_shards(), 1u);
+  EXPECT_TRUE(t.all_done());
+  EXPECT_EQ(t.done_cells(), 10u);
+
+  // A done shard never re-enters the pool.
+  EXPECT_FALSE(t.acquire(9, at(14)).has_value());
+  EXPECT_TRUE(t.expire(at(1000)).empty());
+}
+
+TEST_F(FleetLease, ReleaseWorkerDropsItsLeasesImmediately) {
+  LeaseTable t(sched::make_shard_plan(20, 4), 10.0);
+  ASSERT_TRUE(t.acquire(0, at(0)).has_value());
+  const auto doomed = t.acquire(1, at(0));
+  ASSERT_TRUE(doomed.has_value());
+  // Worker 1's connection died: no reason to wait out the deadline.
+  const auto released = t.release_worker(1);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].shard_id, doomed->shard.id);
+  EXPECT_EQ(t.leased_shards(), 1u);
+  // Worker 0 is untouched and its lease still live.
+  EXPECT_TRUE(t.expire(at(5)).empty());
+  // The released shard is immediately re-acquirable (shard 1 is the lowest
+  // unassigned again).
+  const auto next = t.acquire(0, at(1));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->shard.id, doomed->shard.id);
+  EXPECT_GT(next->fence, doomed->fence);
+}
+
+// ------------------------------------------------------------------- merge
+
+class FleetMerge : public testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = "fleet_merge_test_" + std::to_string(::getpid());
+    canonical_path_ = base_ + ".csv";
+    std::remove(canonical_path_.c_str());
+  }
+  void TearDown() override { std::remove(canonical_path_.c_str()); }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  std::string base_, canonical_path_;
+};
+
+TEST_F(FleetMerge, FoldsWorkerJournalsDedupsAndUnlinks) {
+  const std::string w0 = base_ + ".w0.csv", w1 = base_ + ".w1.csv";
+  {
+    sched::ResultStore s0(w0);
+    s0.put("a|g|cpu|1|1", {1, 1, 1, true, {}});
+    s0.put("b|g|cpu|1|1", {2, 2, 2, true, {}});
+    s0.annotate("quarantined c@g after 1 attempt(s)");
+    sched::ResultStore s1(w1);
+    s1.put("b|g|cpu|1|1", {2, 2, 2, true, {}});  // duplicate of w0's
+    s1.put("d|g|cpu|1|1", {4, 4, 4, true, {}});
+  }
+  sched::ResultStore canonical(canonical_path_);
+  std::vector<std::string> lines;
+  const auto st = merge_worker_journals(
+      canonical, {w0, w1, base_ + ".missing.csv"},
+      [&](const std::string& l) { lines.push_back(l); });
+  EXPECT_EQ(st.files, 2u);
+  EXPECT_EQ(st.missing, 1u);
+  EXPECT_EQ(st.totals.merged, 3u);      // a, b, d
+  EXPECT_EQ(st.totals.duplicates, 1u);  // b again from w1
+  EXPECT_EQ(st.totals.comments, 1u);
+  EXPECT_FALSE(st.torn_tails);
+  EXPECT_EQ(canonical.size(), 3u);
+  EXPECT_EQ(lines.size(), 2u);  // one line per merged file
+
+  // Merged journals are unlinked so a resumed run cannot double-merge.
+  EXPECT_NE(::access(w0.c_str(), F_OK), 0);
+  EXPECT_NE(::access(w1.c_str(), F_OK), 0);
+  // The canonical journal records the merge and carries the annotation.
+  const std::string text = slurp(canonical_path_);
+  EXPECT_NE(text.find("# fleet-merge"), std::string::npos);
+  EXPECT_NE(text.find("# quarantined c@g"), std::string::npos);
+}
+
+TEST_F(FleetMerge, DropsTheTornTailOfASigkilledWorker) {
+  const std::string w0 = base_ + ".w0.csv";
+  {
+    sched::ResultStore s0(w0);
+    s0.put("whole|g|cpu|1|1", {1, 1, 1, true, {}});
+  }
+  {
+    std::ofstream torn(w0, std::ios::app | std::ios::binary);
+    torn << "torn|g|cpu|1|1\t0.5";  // killed mid-append
+  }
+  sched::ResultStore canonical(canonical_path_);
+  const auto st = merge_worker_journals(canonical, {w0});
+  EXPECT_EQ(st.totals.merged, 1u);
+  EXPECT_TRUE(st.torn_tails);
+  EXPECT_TRUE(canonical.find("whole|g|cpu|1|1").has_value());
+  EXPECT_FALSE(canonical.find("torn|g|cpu|1|1").has_value());
+}
+
+// --------------------------------------------------- fault tolerance (e2e)
+
+std::string cell_key(std::size_t c) {
+  return "cell" + std::to_string(c) + "|g|cpu|1|1";
+}
+
+sched::ResultEntry cell_entry(std::size_t c) {
+  return {0.001 * static_cast<double>(c + 1),
+          static_cast<double>(c),
+          c,
+          true,
+          {{"cell", static_cast<double>(c)}}};
+}
+
+// End-to-end over real sockets and real processes: a coordinator leases
+// shards to two forked workers running a synthetic deterministic run_shard;
+// one worker is SIGKILLed mid-shard from the heartbeat hook. The test
+// asserts the lease is released and reassigned, every cell lands in the
+// merged canonical store exactly once, and the merged entries are identical
+// to what a sequential in-process run would have produced.
+TEST(FleetFaultTolerance, SigkilledWorkerLosesNoCells) {
+  constexpr std::size_t kCells = 24;
+  const std::string base = "fleet_ft_" + std::to_string(::getpid());
+  const std::string canonical_path = base + ".csv";
+  std::remove(canonical_path.c_str());
+
+  sched::ResultStore canonical(canonical_path);
+  std::mutex log_mu;
+  std::vector<std::string> log_lines;
+
+  CoordinatorOptions co;
+  co.shards = sched::make_shard_plan(kCells, 4);
+  co.lease_s = 1.5;  // heartbeat every 0.5 s: the kill lands mid-shard
+  co.poll_interval_s = 0.05;
+  co.canonical = &canonical;
+  co.log = [&](const std::string& l) {
+    const std::lock_guard<std::mutex> lock(log_mu);
+    log_lines.push_back(l);
+  };
+  std::atomic<int> rank1_beats{0};
+  std::atomic<long> victim{0};
+  co.on_heartbeat = [&](int rank, long pid, std::uint32_t) {
+    // First heartbeat from rank 1 arrives lease_s/3 into its shard, after
+    // it has journaled a few cells but before the shard completes.
+    if (rank == 1 && rank1_beats.fetch_add(1) == 0) {
+      victim.store(pid);
+      ::kill(static_cast<pid_t>(pid), SIGKILL);
+    }
+  };
+
+  Coordinator coord(std::move(co));
+  const std::uint16_t port = coord.start();
+  ASSERT_NE(port, 0);
+
+  const auto spawn = [&](int rank) -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    // Worker child. Writes deterministic entries into its own journal,
+    // ~100 ms per cell so shards outlast the first heartbeat.
+    WorkerOptions wo;
+    wo.port = port;
+    wo.rank = rank;
+    wo.journal = base + ".w" + std::to_string(rank) + ".csv";
+    wo.total_cells = kCells;
+    sched::ResultStore store(wo.journal);
+    wo.run_shard = [&store](const sched::ShardSpec& spec,
+                            std::atomic<std::size_t>& progress) {
+      ShardOutcome out;
+      for (std::size_t c = spec.begin; c < spec.end; ++c) {
+        std::this_thread::sleep_for(100ms);
+        store.put(cell_key(c), cell_entry(c));
+        ++out.executed;
+        progress.fetch_add(1);
+      }
+      return out;
+    };
+    std::_Exit(run_worker(wo));
+  };
+
+  const pid_t w0 = spawn(0);
+  const pid_t w1 = spawn(1);
+  ASSERT_GT(w0, 0);
+  ASSERT_GT(w1, 0);
+
+  bool victim_reaped_abnormal = false;
+  std::thread reaper([&] {
+    for (int i = 0; i < 2; ++i) {
+      int status = 0;
+      const pid_t p = ::wait(&status);
+      if (p <= 0) break;
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (p == static_cast<pid_t>(victim.load()) && !clean) {
+        victim_reaped_abnormal = true;
+      }
+      coord.note_worker_exit(p, clean);
+    }
+  });
+
+  EXPECT_TRUE(coord.wait_until_done(120));
+  reaper.join();
+  coord.shutdown();
+
+  EXPECT_TRUE(victim_reaped_abnormal);
+  const auto st = coord.stats();
+  EXPECT_EQ(st.done_shards, st.shards);
+  EXPECT_GE(st.lease_releases, 1u);  // the SIGKILL released a lease
+
+  const auto merge =
+      merge_worker_journals(canonical, coord.worker_journals());
+  EXPECT_EQ(merge.files, 2u);
+
+  // The canonical store now holds exactly one entry per cell, each equal to
+  // the deterministic value a sequential run writes: nothing lost to the
+  // kill, nothing duplicated by the reassignment.
+  EXPECT_EQ(canonical.size(), kCells);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    const auto got = canonical.find(cell_key(c));
+    ASSERT_TRUE(got.has_value()) << cell_key(c);
+    EXPECT_EQ(*got, cell_entry(c)) << cell_key(c);
+  }
+
+  // The reassignment shows up in the coordinator's event log.
+  bool release_logged = false;
+  {
+    const std::lock_guard<std::mutex> lock(log_mu);
+    for (const auto& l : log_lines) {
+      if (l.find("released") != std::string::npos) release_logged = true;
+    }
+  }
+  EXPECT_TRUE(release_logged);
+
+  std::remove(canonical_path.c_str());
+}
+
+}  // namespace
+}  // namespace indigo::fleet
