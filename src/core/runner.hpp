@@ -49,6 +49,13 @@ struct RunOptions {
   /// (per-rep metric averages use the real run count). WallClock (CPU)
   /// models always execute every rep — only modeled time is dedupable.
   bool dedup_model_reps = true;
+  /// Data-driven relaxation variants size their worklists generously
+  /// (2m + 2n + 1024 entries) and in practice never overflow. Tests set
+  /// this to a small nonzero value to clamp the *logical* capacity below
+  /// the allocation, forcing the overflow path (saturating device guard +
+  /// host recovery sweep) to run on tiny graphs. 0 = use the allocated
+  /// capacity.
+  std::uint32_t wl_cap_override = 0;
 };
 
 /// What one variant execution produced.

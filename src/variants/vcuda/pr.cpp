@@ -64,17 +64,27 @@ RunResult pr_run(const Graph& g, const RunOptions& opts) {
   // Drains the block/tree accumulators after the main region(s).
   auto epilogue = [&](vcuda::Block& blk, std::span<double> slots,
                       double& block_ctr) {
-    if constexpr (kRed == GpuReduction::BlockAdd) {
-      blk.sync();
-      blk.for_each_thread([&](vcuda::Thread& t) {
-        if (t.thread_idx() == 0) res.atomic_add(t, 0, block_ctr);
-      });
-    } else if constexpr (kRed == GpuReduction::ReductionAdd) {
-      blk.sync();
-      const double total = blk.reduce_add(slots);
-      blk.for_each_thread([&](vcuda::Thread& t) {
-        if (t.thread_idx() == 0) res.atomic_add(t, 0, total);
-      });
+    drain_reduction<kRed, double>(
+        blk, slots, block_ctr,
+        [&](vcuda::Thread& t, double total) { res.atomic_add(t, 0, total); });
+  };
+
+  // Lane-batched fold: every lane of `mask` folds delta[lane] with the
+  // reduction style, charged and applied exactly like popc(mask) scalar
+  // fold() calls in per-lane engine order (the GlobalAdd adds to res[0] go
+  // through the sequenced accessor so the FP accumulation order matches).
+  auto fold_w = [&](vcuda::WarpCtx& w, vcuda::Block& blk,
+                    vcuda::WarpCtx::Mask mask, std::span<double> slots,
+                    double& block_ctr, const vcuda::LaneVec<double>& delta) {
+    if constexpr (kRed == GpuReduction::GlobalAdd) {
+      vcuda::LaneVec<std::uint32_t> zero;
+      w.for_lanes(mask, [&](int l) { zero[l] = 0; });
+      res.atomic_add_warp_seq(w, mask, zero.v, delta.v);
+    } else if constexpr (kRed == GpuReduction::BlockAdd) {
+      blk.atomic_add_block_warp(w, mask, block_ctr, delta.v);
+    } else {
+      w.for_lanes(mask, [&](int l) { slots[w.tid(l)] += delta[l]; });
+      w.work(mask, 1);
     }
   };
 
@@ -100,6 +110,12 @@ RunResult pr_run(const Graph& g, const RunOptions& opts) {
         });
       });
       // Kernel 2: scatter shares along edges (granularity under study).
+      // Stays per-lane: the float atomic_adds scatter onto shared targets
+      // across rounds of the edge walk, so lane A's round-2 add and lane
+      // B's round-1 add to the same vertex cross batches — the lane-loop
+      // engine would reorder a floating-point accumulation across rounds,
+      // which is not bit-identical (ULP drift), and PR's verifier tolerance
+      // is exactly what bit-identity testing must not lean on.
       const std::uint32_t grid1 = grid_for<C.gran, C.pers>(dev, n);
       dev.launch(grid1, kBD, [&](vcuda::Block& blk) {
         blk.for_each_thread([&](vcuda::Thread& t) {
@@ -120,18 +136,46 @@ RunResult pr_run(const Graph& g, const RunOptions& opts) {
       });
       // Kernel 3: residual with the reduction style (thread granularity;
       // an elementwise map regardless of the gather/scatter granularity).
+      // Lane-loop form for every non-persistent style (the res[0] adds of
+      // one warp land in a single batch, which the sequenced accessor
+      // applies in per-lane order) and for persistent ReductionAdd (each
+      // lane folds into its own shared slot). Persistent GlobalAdd/BlockAdd
+      // stay per-lane: a persistent lane folds into the SHARED counter once
+      // per item, so lane A's item-2 add and lane B's item-1 add cross
+      // batches — batching reorders a floating-point accumulation across
+      // items, which no sequenced accessor can undo.
+      constexpr bool kResidLaneLoop =
+          C.pers == Persistence::NonPersistent ||
+          kRed == GpuReduction::ReductionAdd;
       const std::uint32_t grid2 = grid_for<Granularity::Thread, C.pers>(dev, n);
       dev.launch(grid2, kBD, [&](vcuda::Block& blk) {
         auto slots = blk.shared_array<double>(kBD);
         auto block_ctr = blk.shared_array<double>(1);
-        blk.for_each_thread([&](vcuda::Thread& t) {
-          for_items<Granularity::Thread, C.pers>(
-              t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
-                const double delta = std::abs(
-                    static_cast<double>(nxt.ld(t, v)) - cur.ld(t, v));
-                fold(t, slots, block_ctr[0], blk, delta);
-              });
-        });
+        if (kResidLaneLoop && use_lane_loop()) {
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            for_items_warp<C.pers>(
+                w, n, [&](vcuda::WarpCtx::Mask mask, std::uint32_t vbase) {
+                  vcuda::LaneVec<float> nv, cv;
+                  nxt.ld_warp_c(w, mask, vbase, nv.v);
+                  cur.ld_warp_c(w, mask, vbase, cv.v);
+                  vcuda::LaneVec<double> delta;
+                  w.for_lanes(mask, [&](int l) {
+                    delta[l] =
+                        std::abs(static_cast<double>(nv[l]) - cv[l]);
+                  });
+                  fold_w(w, blk, mask, slots, block_ctr[0], delta);
+                });
+          });
+        } else {
+          blk.for_each_thread([&](vcuda::Thread& t) {
+            for_items<Granularity::Thread, C.pers>(
+                t, n, [&](std::uint32_t v, std::uint32_t, std::uint32_t) {
+                  const double delta = std::abs(
+                      static_cast<double>(nxt.ld(t, v)) - cur.ld(t, v));
+                  fold(t, slots, block_ctr[0], blk, delta);
+                });
+          });
+        }
         epilogue(blk, slots, block_ctr[0]);
       });
     } else {
@@ -152,6 +196,12 @@ RunResult pr_run(const Graph& g, const RunOptions& opts) {
         auto slots = blk.shared_array<double>(kBD);
         auto block_ctr = blk.shared_array<double>(1);
         if constexpr (kThreadG) {
+          // Stays per-lane: the post-loop tail (cur.ld, nxt.st, fold) lands
+          // at op index 2 + 4 * deg(v), so two lanes with different degrees
+          // put their tails at different program points. The per-lane
+          // engine groups accesses by op index; a lane-loop body would have
+          // to batch the tails together, regrouping the accesses and
+          // changing what coalesces — not bit-identical by construction.
           blk.for_each_thread([&](vcuda::Thread& t) {
             for_items<C.gran, C.pers>(
                 t, n,
@@ -174,6 +224,93 @@ RunResult pr_run(const Graph& g, const RunOptions& opts) {
                   fold(t, slots, block_ctr[0], blk, delta);
                 });
           });
+          epilogue(blk, slots, block_ctr[0]);
+        } else if (use_lane_loop()) {
+          // Lane-loop twin of the W/B pipeline below. Region A is a
+          // uniform-per-round ragged edge walk (4 loads + work per round,
+          // lanes leave only by cursor exhaustion, and the strided offsets
+          // make every live mask a lane-prefix), region B is a leader
+          // singleton — both batch op-for-op onto the per-lane groups.
+          auto partials = blk.shared_array<double>(kBD);
+          const std::uint32_t stride = kWarpG ? kWS : kBD;
+          for (std::uint32_t batch = 0; batch < batches; ++batch) {
+            // Region A: strided partial sums.
+            blk.for_each_warp([&](vcuda::WarpCtx& w) {
+              const vcuda::WarpCtx::Mask all = w.full();
+              w.for_lanes(all, [&](int l) { partials[w.tid(l)] = 0.0; });
+              const std::uint32_t group =
+                  (kWarpG ? w.gidx_base() / kWS : w.block_idx()) +
+                  batch * groups_total;
+              if (group >= n) return;
+              const vid_t v = group;
+              vcuda::LaneVec<std::uint32_t> vv;
+              w.for_lanes(all, [&](int l) { vv[l] = v; });
+              vcuda::LaneVec<std::uint32_t> begv, endv;
+              row.ld_warp(w, all, vv.v, begv.v);
+              w.for_lanes(all, [&](int l) { vv[l] = v + 1; });
+              row.ld_warp(w, all, vv.v, endv.v);
+              vcuda::LaneVec<std::uint32_t> e, fin;
+              vcuda::LaneVec<double> sum;
+              w.for_lanes(all, [&](int l) {
+                const std::uint32_t off =
+                    kWarpG ? static_cast<std::uint32_t>(l) : w.tid(l);
+                e[l] = begv[l] + off;
+                fin[l] = endv[l];
+                sum[l] = 0.0;
+              });
+              w.edge_walk(
+                  all, e, fin, stride, [&](vcuda::WarpCtx::Mask live) {
+                    vcuda::LaneVec<vid_t> u;
+                    col.ld_warp(w, live, e.v, u.v);
+                    vcuda::LaneVec<std::uint32_t> up1, du1, du0;
+                    w.for_lanes(live, [&](int l) { up1[l] = u[l] + 1; });
+                    row.ld_warp(w, live, up1.v, du1.v);
+                    row.ld_warp(w, live, u.v, du0.v);
+                    vcuda::LaneVec<float> cu;
+                    cur.ld_warp(w, live, u.v, cu.v);
+                    w.for_lanes(live, [&](int l) {
+                      sum[l] += static_cast<double>(cu[l]) /
+                                (du1[l] - du0[l]);
+                    });
+                    w.work(live, 2);
+                    return live;
+                  });
+              w.for_lanes(all, [&](int l) { partials[w.tid(l)] = sum[l]; });
+            });
+            blk.sync();
+            // Region B: group leaders combine and write the fresh score.
+            blk.for_each_warp([&](vcuda::WarpCtx& w) {
+              if (!kWarpG && w.tid(0) != 0) return;  // block leader only
+              const std::uint32_t group =
+                  (kWarpG ? w.gidx_base() / kWS : w.block_idx()) +
+                  batch * groups_total;
+              if (group >= n) return;
+              const vid_t v = group;
+              const std::uint32_t width = kWarpG ? kWS : w.block_dim();
+              const std::uint32_t first = kWarpG ? w.tid(0) : 0u;
+              const vcuda::WarpCtx::Mask lead = 1;  // lane 0
+              double sum = 0.0;
+              for (std::uint32_t k = 0; k < width; ++k) {
+                sum += partials[first + k];
+              }
+              // Tree combine cost (shuffle reduction in a real kernel).
+              w.work(lead, 5 * 10.0);
+              vcuda::LaneVec<std::uint32_t> vv;
+              vv[0] = v;
+              vcuda::LaneVec<float> cv;
+              cur.ld_warp(w, lead, vv.v, cv.v);
+              const auto fresh =
+                  static_cast<float>(base + kPrDamping * sum);
+              vcuda::LaneVec<double> delta;
+              delta[0] =
+                  std::abs(static_cast<double>(fresh) - cv[0]);
+              vcuda::LaneVec<float> fv;
+              fv[0] = fresh;
+              nxt.st_warp(w, lead, vv.v, fv.v);
+              fold_w(w, blk, lead, slots, block_ctr[0], delta);
+            });
+            blk.sync();
+          }
           epilogue(blk, slots, block_ctr[0]);
         } else {
           auto partials = blk.shared_array<double>(kBD);

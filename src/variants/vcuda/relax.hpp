@@ -54,7 +54,12 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
     const std::size_t cap = 2 * static_cast<std::size_t>(m) + 2 * n + 1024;
     wl_a.resize(cap);
     wl_b.resize(cap);
-    wl_cap = static_cast<std::uint32_t>(cap);
+    const auto cap32 = static_cast<std::uint32_t>(cap);
+    // Tests clamp the logical capacity below the allocation to force the
+    // overflow/recovery path; the buffers stay full-size so a recovery
+    // sweep (which writes all m or n items) never writes out of bounds.
+    wl_cap = opts.wl_cap_override != 0 ? std::min(opts.wl_cap_override, cap32)
+                                       : cap32;
     wl_in = dev.array(std::span<std::uint32_t>(wl_a));
     wl_out = dev.array(std::span<std::uint32_t>(wl_b));
     if constexpr (kNoDup) {
@@ -144,8 +149,18 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
       }
       if constexpr (kEdge) {
         const std::uint32_t beg = row.ld(t, u), end = row.ld(t, u + 1);
+        // Saturating overflow guard: once the size counter has passed the
+        // cap, stop fetch_add-ing ranges into it. Without the pre-check a
+        // duplicate-heavy run kept growing wl_size by whole degrees until
+        // the uint32 wrapped, which un-tripped the host's overflow sweep
+        // (size_h[0] > wl_cap) and silently dropped frontier pushes. `>`
+        // (not `>=`) so the first crossing push still lands the counter
+        // above the cap for the host to detect.
+        const std::uint32_t seen = O::ld(t, wl_size, 0);
+        if (seen > wl_cap) return;
         const std::uint32_t base = O::fetch_add(t, wl_size, 0, end - beg);
-        if (base + (end - beg) > wl_cap) return;  // host detects overflow
+        // Wrap-safe form of base + (end - beg) > wl_cap.
+        if (base > wl_cap || end - beg > wl_cap - base) return;
         for (std::uint32_t e = beg; e < end; ++e) {
           wl_out.st(t, base + (e - beg), e);
         }
@@ -234,12 +249,60 @@ RunResult relax_run(const Graph& g, const RunOptions& opts) {
       flag_h[0] = 0;
     }
     const std::uint32_t grid = grid_for<kGran, C.pers>(dev, items);
-    // The relaxation kernel stays on the per-lane compatibility path: its
-    // lanes read values sibling lanes may write (in-place relaxation,
-    // fetch-return-driven worklist pushes), so changing the lane interleave
-    // would change convergence behaviour — exactly what the scrambled
-    // per-lane order is calibrated for.
+    // Relaxation-kernel engine split. The edge-flow Topology+Det+RMW
+    // non-persistent shape is batch-alignable: one arc per lane, cur is
+    // read-only (Det two-array), the infinite-source exit is a prefix mask
+    // refinement, all same-target crossings land in the single fetch_min
+    // batch (the sequenced accessor replays the per-lane lane order), and
+    // the changed-flag store is a conditional suffix — so its lane-loop
+    // twin is bit-identical in values, stats and charges. Everything else
+    // stays on the per-lane compatibility path because its lanes read
+    // values sibling lanes write in the same region: NonDet relaxes
+    // in-place (nxt aliases cur), ReadWrite splits the update into a
+    // non-atomic load+store pair, persistent lanes interleave across work
+    // items, vertex flow breaks/continues mid-edge-loop, and data-driven
+    // pushes chain off fetch_add returns with degree-length store runs —
+    // for all of those the scrambled per-lane order *is* the semantics the
+    // model is calibrated for.
+    constexpr bool kProcLaneLoop = kEdge && !kData && kDet && !kRw &&
+                                   C.pers == Persistence::NonPersistent;
     dev.launch(grid, kBD, [&](vcuda::Block& blk) {
+      if constexpr (kProcLaneLoop) {
+        if (use_lane_loop()) {
+          using WO = WOps<C.alib>;
+          blk.for_each_warp([&](vcuda::WarpCtx& w) {
+            for_items_warp<C.pers>(
+                w, items, [&](vcuda::WarpCtx::Mask m0, std::uint32_t base) {
+                  vcuda::LaneVec<std::uint32_t> ev, av, bv, dv, wv, ndv, oldv;
+                  w.for_lanes(m0, [&](int l) {
+                    ev[l] = base + static_cast<std::uint32_t>(l);
+                  });
+                  srcl.ld_warp(w, m0, ev.v, av.v);
+                  col.ld_warp(w, m0, ev.v, bv.v);
+                  // Pull relaxes arc-dst into arc-src; push the reverse.
+                  auto& fromv = kPull ? bv : av;
+                  auto& tov = kPull ? av : bv;
+                  WO::ld(w, m0, cur, fromv.v, dv.v);
+                  const auto m1 =
+                      w.where(m0, [&](int l) { return dv[l] != kInfDist; });
+                  wts.ld_warp(w, m1, ev.v, wv.v);
+                  w.for_lanes(m1, [&](int l) {
+                    ndv[l] = Problem::relax(dv[l], wv[l]);
+                  });
+                  WO::fetch_min(w, m1, nxt, tov.v, ndv.v, oldv.v);
+                  const auto m2 =
+                      w.where(m1, [&](int l) { return ndv[l] < oldv[l]; });
+                  vcuda::LaneVec<std::uint32_t> zero, one;
+                  w.for_lanes(m2, [&](int l) {
+                    zero[l] = 0;
+                    one[l] = 1u;
+                  });
+                  WO::st(w, m2, changed, zero.v, one.v);
+                });
+          });
+          return;
+        }
+      }
       blk.for_each_thread([&](vcuda::Thread& t) {
         for_items<kGran, C.pers>(
             t, items,

@@ -81,8 +81,18 @@ RunResult tc_run(const Graph& g, const RunOptions& opts) {
   const std::uint32_t grid = grid_for<C.gran, C.pers>(dev, items);
 
   dev.launch(grid, kBD, [&](vcuda::Block& blk) {
-    auto slots = blk.shared_array<double>(kBD);
-    auto block_ctr = blk.shared_array<double>(1);
+    // Integral accumulators end to end: the old double shared slots were
+    // cast to uint64 at flush, silently truncating any count (or reduce_add
+    // drift) above 2^53. Block::reduce_add has a uint64 overload with the
+    // identical cycle charges, so the model numbers are unchanged.
+    auto slots = blk.shared_array<std::uint64_t>(kBD);
+    auto block_ctr = blk.shared_array<std::uint64_t>(1);
+    // TC stays on the per-lane path on purpose: both intersection
+    // primitives (the merge walk and the binary-search probe) issue loads
+    // inside data-dependent conditionals, so a lane's op stream depends on
+    // the values it reads — sibling lanes' accesses cannot be grouped into
+    // common SIMT batches without changing which accesses coalesce, i.e.
+    // no lane-loop form is bit-identical (see docs/VCUDA_MODEL.md).
     blk.for_each_thread([&](vcuda::Thread& t) {
       for_items<C.gran, C.pers>(
           t, items,
@@ -115,31 +125,17 @@ RunResult tc_run(const Graph& g, const RunOptions& opts) {
             if constexpr (kRed == GpuReduction::GlobalAdd) {
               O::fetch_add(t, count, 0, local);  // Listing 10a
             } else if constexpr (kRed == GpuReduction::BlockAdd) {
-              blk.atomic_add_block(t, block_ctr[0],
-                                   static_cast<double>(local));
+              blk.atomic_add_block(t, block_ctr[0], local);
             } else {
-              slots[t.thread_idx()] += static_cast<double>(local);
+              slots[t.thread_idx()] += local;
               t.work(1);
             }
           });
     });
-    if constexpr (kRed == GpuReduction::BlockAdd) {
-      blk.sync();
-      blk.for_each_thread([&](vcuda::Thread& t) {
-        if (t.thread_idx() == 0 && block_ctr[0] != 0.0) {
-          O::fetch_add(t, count, 0,
-                       static_cast<std::uint64_t>(block_ctr[0]));
-        }
-      });
-    } else if constexpr (kRed == GpuReduction::ReductionAdd) {
-      blk.sync();
-      const double total = blk.reduce_add(slots);
-      blk.for_each_thread([&](vcuda::Thread& t) {
-        if (t.thread_idx() == 0 && total != 0.0) {
-          O::fetch_add(t, count, 0, static_cast<std::uint64_t>(total));
-        }
-      });
-    }
+    drain_reduction<kRed, std::uint64_t>(
+        blk, slots, block_ctr[0], [&](vcuda::Thread& t, std::uint64_t total) {
+          if (total != 0) O::fetch_add(t, count, 0, total);
+        });
   });
 
   RunResult result;

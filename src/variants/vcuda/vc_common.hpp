@@ -70,6 +70,73 @@ struct Ops {
   }
 };
 
+/// Lane-batched sibling of Ops: one call performs the accessor for every
+/// lane of the mask as one SIMT instruction group, dispatching on the
+/// atomics library exactly like Ops. All mutating forms are the *sequenced*
+/// accessors (functional effects in the per-lane engine's scrambled lane
+/// order), so a migrated kernel's same-batch address collisions reproduce
+/// the per-lane path's old-value chains bit-for-bit; for collision-free
+/// batches sequenced and ascending application coincide anyway.
+template <AtomicsLib A>
+struct WOps {
+  template <typename T, typename Idx>
+  static void ld(vcuda::WarpCtx& w, vcuda::WarpCtx::Mask m,
+                 const vcuda::DeviceArray<T>& a, const Idx* idx, T* out) {
+    if constexpr (A == AtomicsLib::Classic) {
+      a.ld_warp(w, m, idx, out);
+    } else {
+      a.ald_warp(w, m, idx, out);
+    }
+  }
+  template <typename T, typename Idx>
+  static void st(vcuda::WarpCtx& w, vcuda::WarpCtx::Mask m,
+                 const vcuda::DeviceArray<T>& a, const Idx* idx,
+                 const T* val) {
+    if constexpr (A == AtomicsLib::Classic) {
+      a.st_warp_seq(w, m, idx, val);
+    } else {
+      a.ast_warp_seq(w, m, idx, val);
+    }
+  }
+  template <typename T, typename Idx>
+  static void fetch_min(vcuda::WarpCtx& w, vcuda::WarpCtx::Mask m,
+                        const vcuda::DeviceArray<T>& a, const Idx* idx,
+                        const T* val, T* old = nullptr) {
+    if constexpr (A == AtomicsLib::Classic) {
+      a.atomic_min_warp_seq(w, m, idx, val, old);
+    } else {
+      a.afetch_min_warp_seq(w, m, idx, val, old);
+    }
+  }
+  template <typename T, typename Idx>
+  static void fetch_max(vcuda::WarpCtx& w, vcuda::WarpCtx::Mask m,
+                        const vcuda::DeviceArray<T>& a, const Idx* idx,
+                        const T* val, T* old = nullptr) {
+    if constexpr (A == AtomicsLib::Classic) {
+      a.atomic_max_warp_seq(w, m, idx, val, old);
+    } else {
+      a.afetch_max_warp_seq(w, m, idx, val, old);
+    }
+  }
+  template <typename T, typename Idx>
+  static void fetch_add(vcuda::WarpCtx& w, vcuda::WarpCtx::Mask m,
+                        const vcuda::DeviceArray<T>& a, const Idx* idx,
+                        const T* val, T* old = nullptr) {
+    if constexpr (A == AtomicsLib::Classic) {
+      a.atomic_add_warp_seq(w, m, idx, val, old);
+    } else {
+      a.afetch_add_warp_seq(w, m, idx, val, old);
+    }
+  }
+};
+
+/// True when the migrated kernels should run their lane-loop bodies; false
+/// keeps the per-lane reference bodies (tests flip this to prove engine
+/// equivalence).
+[[nodiscard]] inline bool use_lane_loop() {
+  return vcuda::warp_engine() == vcuda::WarpEngine::LaneLoop;
+}
+
 /// Grid size for `items` work items under the granularity/persistence
 /// styles. Persistent kernels use a device-filling grid and stride
 /// (Listing 7a); non-persistent kernels launch one thread/warp/block per
@@ -147,6 +214,61 @@ void for_items_warp(vcuda::WarpCtx& w, std::uint32_t items, Fn&& fn) {
   } else {
     const std::uint32_t base = w.gidx_base();
     if (base < items) fn(w.mask_first(items - base), base);
+  }
+}
+
+/// Lane-loop form of for_items<G, P> for Warp/Block granularity: one work
+/// item's inner loop is strided across the warp's lanes, so the warp visits
+/// items one at a time and fn(item, off0, stride) describes lane l's slice
+/// as offsets off0 + l, off0 + l + stride, ... — exactly the offsets
+/// for_items hands the per-lane threads (Warp: off0 = 0, stride = kWS;
+/// Block: off0 = tid(0), stride = block_dim, every warp of the block sees
+/// every item). Thread granularity has no per-item form; use the mask-based
+/// for_items_warp above.
+template <Granularity G, Persistence P, typename Fn>
+void for_items_warp_gran(vcuda::WarpCtx& w, std::uint32_t items, Fn&& fn) {
+  static_assert(G != Granularity::Thread,
+                "Thread granularity uses the mask form (for_items_warp)");
+  if constexpr (G == Granularity::Warp) {
+    const std::uint32_t wid = w.gidx_base() / kWS;
+    if constexpr (P == Persistence::Persistent) {
+      const std::uint32_t nwarps = w.total_threads() / kWS;
+      for (std::uint32_t i = wid; i < items; i += nwarps) fn(i, 0u, kWS);
+    } else {
+      if (wid < items) fn(wid, 0u, kWS);
+    }
+  } else {
+    if constexpr (P == Persistence::Persistent) {
+      for (std::uint32_t i = w.block_idx(); i < items; i += w.grid_dim()) {
+        fn(i, w.tid(0), w.block_dim());
+      }
+    } else {
+      if (w.block_idx() < items) fn(w.block_idx(), w.tid(0), w.block_dim());
+    }
+  }
+}
+
+/// Drains the BlockAdd/ReductionAdd accumulators after a kernel's main
+/// region(s) — the shared tail of every GPU-reduction kernel (paper
+/// Listing 10b/10c): barrier, optional warp+block tree combine, then the
+/// block leader commits the block total through `commit(t, total)`.
+/// GlobalAdd styles have nothing to drain and this is a no-op. T is the
+/// accumulator type (double for PR residuals, uint64 for lossless triangle
+/// counts — Block::reduce_add charges identically for both).
+template <GpuReduction R, typename T, typename Commit>
+void drain_reduction(vcuda::Block& blk, std::span<T> slots, T& block_ctr,
+                     Commit&& commit) {
+  if constexpr (R == GpuReduction::BlockAdd) {
+    blk.sync();
+    blk.for_each_thread([&](vcuda::Thread& t) {
+      if (t.thread_idx() == 0) commit(t, block_ctr);
+    });
+  } else if constexpr (R == GpuReduction::ReductionAdd) {
+    blk.sync();
+    const T total = blk.reduce_add(slots);
+    blk.for_each_thread([&](vcuda::Thread& t) {
+      if (t.thread_idx() == 0) commit(t, total);
+    });
   }
 }
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -16,6 +18,20 @@ namespace {
 
 std::atomic<bool> g_reference_model{false};
 
+/// Startup default for the engine switch. INDIGO_WARP_ENGINE=perlane forces
+/// the legacy for_each_thread interpretation of migrated kernels (A/B
+/// timing runs, golden-test triage) without recompiling; anything else —
+/// including unset — is the lane-loop engine. set_warp_engine still
+/// overrides at runtime (the golden tests flip it per subtest).
+WarpEngine initial_warp_engine() {
+  if (const char* env = std::getenv("INDIGO_WARP_ENGINE")) {
+    if (std::strcmp(env, "perlane") == 0) return WarpEngine::PerLane;
+  }
+  return WarpEngine::LaneLoop;
+}
+
+std::atomic<WarpEngine> g_warp_engine{initial_warp_engine()};
+
 }  // namespace
 
 bool reference_model() {
@@ -24,6 +40,14 @@ bool reference_model() {
 
 void set_reference_model(bool on) {
   g_reference_model.store(on, std::memory_order_relaxed);
+}
+
+WarpEngine warp_engine() {
+  return g_warp_engine.load(std::memory_order_relaxed);
+}
+
+void set_warp_engine(WarpEngine e) {
+  g_warp_engine.store(e, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -77,6 +101,7 @@ void WarpRecorder::grow(std::size_t need) {
 
 void WarpRecorder::flush(Device& dev) {
   if (op_index_ > used_groups_) used_groups_ = op_index_;  // last lane's ops
+  if (lane_accesses_ > 0) dev.add_lane_accesses(lane_accesses_);
   if (active_lanes_ == 0) return;
   const DeviceSpec& spec = *spec_;
 
@@ -348,6 +373,26 @@ double Block::reduce_add(std::span<const double> per_thread_values) {
   return total;
 }
 
+std::uint64_t Block::reduce_add(
+    std::span<const std::uint64_t> per_thread_values) {
+  // Charge sequence identical to the double overload (the cost depends only
+  // on how many values are combined, not on their type); the sum itself is
+  // exact 64-bit integer arithmetic — no 2^53 truncation.
+  const auto ws = static_cast<std::uint32_t>(warp_size_);
+  const std::uint32_t warps =
+      (static_cast<std::uint32_t>(per_thread_values.size()) + ws - 1) / ws;
+  const double steps_per_warp =
+      std::log2(static_cast<double>(warp_size_)) *
+      spec().warp_collective_cycles;
+  dev_.add_compute_cycles(warps * steps_per_warp);
+  sync();
+  dev_.add_compute_cycles(
+      std::log2(std::max<double>(warps, 2.0)) * spec().warp_collective_cycles);
+  std::uint64_t total = 0;
+  for (std::uint64_t v : per_thread_values) total += v;
+  return total;
+}
+
 void Block::begin_block(std::uint32_t bidx) {
   bidx_ = bidx;
   block_serial_cycles_ = 0;
@@ -362,8 +407,7 @@ void Block::end_block() {
 }
 
 Device::Device(const DeviceSpec& spec)
-    : spec_(spec), hotspot_(4096, 0.0), hotspot_owner_(4096, 0),
-      hotspot_epoch_(4096, 0), ref_(reference_model()) {
+    : spec_(spec), hotspot_(4096), ref_(reference_model()) {
   // Throwing validation (not an assert — NDEBUG builds must reject bad
   // specs too): everything downstream relies on these invariants.
   spec_.validate();
@@ -390,8 +434,7 @@ void Device::begin_launch(std::uint32_t grid_dim, std::uint32_t block_dim) {
   if (rc_) rc_->on_launch_begin();
   stats_.reset();
   if (ref_) {
-    hotspot_.assign(hotspot_.size(), 0);
-    hotspot_owner_.assign(hotspot_owner_.size(), 0);
+    hotspot_.assign(hotspot_.size(), HotSlot{});
   } else {
     // Bumping the epoch invalidates every slot at once; stale slots are
     // reset lazily on first touch (note_atomic_chain).
@@ -410,7 +453,7 @@ void Device::finalize_launch() {
   double hot = hot_max_;
   if (ref_) {
     hot = 0;
-    for (double h : hotspot_) hot = std::max(hot, h);
+    for (const HotSlot& h : hotspot_) hot = std::max(hot, h.cycles);
   }
   stats_.hotspot_cycles_max = hot;
 

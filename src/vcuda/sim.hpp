@@ -40,6 +40,8 @@ class Device;
 class Block;
 class Thread;
 class WarpCtx;
+template <typename T>
+class DeviceArray;
 
 /// Upper bound on DeviceSpec::warp_size (enforced by DeviceSpec::validate):
 /// lane state fits fixed SoA arrays and divergence masks fit one 64-bit word.
@@ -82,6 +84,10 @@ struct LaunchStats {
                                        // address this launch (serialized)
   std::uint64_t block_atomic_ops = 0;  // the shared-memory subset of
                                        // atomic_ops (no global traffic)
+  std::uint64_t lane_accesses = 0;     // per-lane global-memory accesses;
+                                       // engine-invariant (a kernel makes the
+                                       // same accesses on either engine), so
+                                       // twin benchmarks gate on it
   double lane_cycles = 0;       // sum of per-lane work (useful cycles)
   double lockstep_cycles = 0;   // sum of max-lane x active-lanes (what the
                                 // SIMT lockstep actually occupies)
@@ -114,6 +120,18 @@ struct LaunchStats {
 /// constructing the Device under test.
 [[nodiscard]] bool reference_model();
 void set_reference_model(bool on);
+
+/// Which warp execution engine the variant kernels use for the migrated
+/// kernel bodies. LaneLoop (the default) runs them through
+/// Block::for_each_warp with batched WarpCtx recording; PerLane keeps the
+/// legacy one-lane-at-a-time for_each_thread bodies as a testable
+/// reference. Both are bit-identical in modeled time, LaunchStats, and
+/// functional outputs for every migrated kernel (tests/test_sim_golden.cpp
+/// proves it); kernels whose per-lane op streams cannot be batched ignore
+/// the switch and always run per-lane (see docs/VCUDA_MODEL.md).
+enum class WarpEngine { LaneLoop, PerLane };
+[[nodiscard]] WarpEngine warp_engine();
+void set_warp_engine(WarpEngine e);
 
 namespace detail {
 
@@ -169,6 +187,7 @@ class WarpRecorder {
     // Lanes above stride_ (= warp_size) are never charged.
     std::memset(lane_cycles_.data(), 0, stride_ * sizeof(double));
     fence_cycles_ = 0;
+    lane_accesses_ = 0;
     active_lanes_ = 0;
   }
 
@@ -195,6 +214,7 @@ class WarpRecorder {
   // accessors inline down to here), so the kind branches below fold away
   // and each call site compiles to the stores + adds of its own kind only.
   void record(std::uint64_t addr, AccessKind kind) {
+    ++lane_accesses_;
     const std::size_t gi = op_index_++;
     if (gi >= group_cap_) grow(gi + 1);
     std::uint16_t& info = group_info_[gi];
@@ -283,6 +303,7 @@ class WarpRecorder {
   std::uint64_t stamp_counter_ = 0;
   std::array<double, 64> lane_cycles_{};  // supports warp_size <= 64
   double fence_cycles_ = 0;
+  std::uint64_t lane_accesses_ = 0;  // per-lane accesses this region
   int lane_ = 0;
   int active_lanes_ = 0;
   std::uint32_t owner_ = 0;  // launch-unique warp id, for conflict counting
@@ -414,7 +435,7 @@ class WarpCtx {
   }
 
   /// Refines m to the lanes where pred(lane) holds — the mask form of an
-  /// if/while condition.
+  /// if/while condition (__ballot_sync over the live mask).
   template <typename P>
   [[nodiscard]] Mask where(Mask m, P&& pred) const {
     Mask out = 0;
@@ -425,10 +446,61 @@ class WarpCtx {
     return out;
   }
 
+  /// __popc of a ballot: how many lanes are active in m.
+  [[nodiscard]] static int popc(Mask m) { return std::popcount(m); }
+  /// __any_sync: at least one lane active.
+  [[nodiscard]] static bool any(Mask m) { return m != 0; }
+
   /// Runs f(lane) for every active lane, in ascending lane order.
   template <typename F>
   void for_lanes(Mask m, F&& f) const {
     for (Mask mm = m; mm != 0; mm &= mm - 1) f(std::countr_zero(mm));
+  }
+
+  /// Runs f(lane) for every active lane in the SAME scrambled lane order
+  /// the per-lane engine visits lanes (the coprime-stride permutation of
+  /// Block::for_each_thread). The sequenced *_warp_seq accessors apply
+  /// their functional effects through this, so a batch whose lanes hit the
+  /// same address produces the exact old-value chain the per-lane path
+  /// produced — the key to bit-identical migration of sibling-visible RMWs.
+  template <typename F>
+  void for_lanes_seq(Mask m, F&& f) const {
+    if (m == 0) return;
+    const auto count = static_cast<std::uint32_t>(width_);
+    std::uint32_t li = 0;
+    for (std::uint32_t j = 0; j < count; ++j) {
+      if ((m >> li) & 1u) f(static_cast<int>(li));
+      li += lane_step_;
+      if (li >= count) li -= count;
+    }
+  }
+
+  /// Ragged edge walk: starting from the lanes of m whose cursor has work
+  /// (cur[l] < end[l]), repeatedly calls body(live) — one call per lockstep
+  /// round over the still-live lanes — then advances the cursors of the
+  /// lanes body kept and drops exhausted lanes from the mask. body returns
+  /// the subset of its argument that continues (drop a bit for a
+  /// break-style exit). Lanes leave the walk only by exhaustion or by being
+  /// dropped, so each lane's op stream is a per-round prefix of the full
+  /// walk — exactly the shape the per-lane engine produced.
+  template <typename Cur, typename End, typename F>
+  void edge_walk(Mask m, LaneVec<Cur>& cur, const LaneVec<End>& end,
+                 Cur stride, F&& body) const {
+    Mask live = where(m, [&](int l) {
+      return cur[l] < static_cast<Cur>(end[l]);
+    });
+    while (live != 0) {
+      // Advance and exhaustion-check in the same bit scan: one pass over
+      // the surviving lanes per round instead of a for_lanes advance
+      // followed by a where() rescan.
+      Mask next = 0;
+      for (Mask mm = body(live); mm != 0; mm &= mm - 1) {
+        const int l = std::countr_zero(mm);
+        cur[l] += stride;
+        if (cur[l] < static_cast<Cur>(end[l])) next |= Mask{1} << l;
+      }
+      live = next;
+    }
   }
 
   /// Explicit per-lane ALU charge for the active lanes (Thread::work).
@@ -466,6 +538,18 @@ class WarpCtx {
   void record_contig(Mask m, const void* base, std::size_t esz,
                      std::uint64_t first);
 
+  /// Fused ragged relaxation step: u[l] = col[cur[l]];
+  /// atomicMin(&dst[u[l]], val[l]) for every live lane. Functionally and in
+  /// modeled accounting identical to col.ld_warp followed by
+  /// dst.atomic_min_warp, but one pass over the live mask instead of four —
+  /// this pair is the per-round body of every push-relaxation edge walk.
+  /// Requires col and dst to be distinct arrays (the unfused pair performs
+  /// all gathers before any relaxation; the fused loop interleaves them).
+  template <typename C, typename Idx, typename T>
+  void relax_min(Mask m, const DeviceArray<C>& col, const Idx* cur,
+                 const DeviceArray<T>& dst, const T* val,
+                 std::remove_const_t<C>* u);
+
  private:
   friend class Block;
 
@@ -473,9 +557,10 @@ class WarpCtx {
           std::uint32_t bidx, std::uint32_t bdim, std::uint32_t gdim)
       : dev_(dev), rec_(rec), rc_(rc), bidx_(bidx), bdim_(bdim), gdim_(gdim) {}
 
-  void reset_warp(std::uint32_t lo, int width) {
+  void reset_warp(std::uint32_t lo, int width, std::uint32_t lane_step) {
     lo_ = lo;
     width_ = width;
+    lane_step_ = lane_step;
     full_ = width >= 64 ? ~Mask{0} : (Mask{1} << width) - 1;
   }
 
@@ -500,6 +585,7 @@ class WarpCtx {
   std::uint32_t bidx_, bdim_, gdim_;
   std::uint32_t lo_ = 0;  // threadIdx.x of lane 0
   int width_ = 0;
+  std::uint32_t lane_step_ = 1;  // per-lane engine's lane-visit stride
   Mask full_ = 0;
 };
 
@@ -511,42 +597,50 @@ template <typename T>
 class DeviceArray {
  public:
   DeviceArray() = default;
-  explicit DeviceArray(std::span<T> data) : data_(data) {}
+  /// `rec_base` is the array's *virtual* device base (Device::array assigns
+  /// it): recording uses it instead of the host pointer so modeled time
+  /// does not depend on where the host heap happens to land (ASLR made
+  /// atomic-chain hash collisions — and with them cudaatomic seconds —
+  /// vary run to run). Functional access and racecheck keep real addresses.
+  explicit DeviceArray(std::span<T> data, const void* rec_base)
+      : data_(data), rb_(rec_base) {}
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] std::span<T> raw() const { return data_; }
+  /// The virtual device base recording uses (WarpCtx::relax_min needs it).
+  [[nodiscard]] const void* rec_base() const { return rb_; }
 
   // --- classic CUDA accesses (paper Listing 9a world) ---------------------
   // Race hooks (and their delta_sign computation) are gated on race_on() so
   // the default timing configuration pays nothing per access beyond one
   // predictable branch.
   T ld(Thread& t, std::size_t i) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::Load);
+    t.record(rb_, i, sizeof(T), AccessKind::Load);
     if (t.race_on()) t.race_read(&data_[i], false);
     return data_[i];
   }
   void st(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::Store);
+    t.record(rb_, i, sizeof(T), AccessKind::Store);
     if (t.race_on())
       t.race_write(&data_[i], false, detail::delta_sign(data_[i], v));
     data_[i] = v;
   }
   T atomic_min(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    t.record(rb_, i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
     if (t.race_on()) t.race_write(&data_[i], true, v < old ? -1 : 0);
     if (v < old) data_[i] = v;
     return old;
   }
   T atomic_max(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    t.record(rb_, i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
     if (t.race_on()) t.race_write(&data_[i], true, old < v ? 1 : 0);
     if (v > old) data_[i] = v;
     return old;
   }
   T atomic_add(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    t.record(rb_, i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
     if (t.race_on())
       t.race_write(&data_[i], true,
@@ -556,7 +650,7 @@ class DeviceArray {
   }
   /// atomicCAS: returns the old value (compare to `expected` to test).
   T atomic_cas(Thread& t, std::size_t i, T expected, T desired) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::Atomic);
+    t.record(rb_, i, sizeof(T), AccessKind::Atomic);
     const T old = data_[i];
     if (t.race_on())
       t.race_write(&data_[i], true,
@@ -567,32 +661,32 @@ class DeviceArray {
 
   // --- cuda::atomic with default settings (paper Listing 9b world) --------
   T ald(Thread& t, std::size_t i) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
+    t.record(rb_, i, sizeof(T), AccessKind::CudaAtomicLdSt);
     if (t.race_on()) t.race_read(&data_[i], true);
     return data_[i];
   }
   void ast(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicLdSt);
+    t.record(rb_, i, sizeof(T), AccessKind::CudaAtomicLdSt);
     if (t.race_on())
       t.race_write(&data_[i], true, detail::delta_sign(data_[i], v));
     data_[i] = v;
   }
   T afetch_min(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
+    t.record(rb_, i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
     if (t.race_on()) t.race_write(&data_[i], true, v < old ? -1 : 0);
     if (v < old) data_[i] = v;
     return old;
   }
   T afetch_max(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
+    t.record(rb_, i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
     if (t.race_on()) t.race_write(&data_[i], true, old < v ? 1 : 0);
     if (v > old) data_[i] = v;
     return old;
   }
   T afetch_add(Thread& t, std::size_t i, T v) const {
-    t.record(data_.data(), i, sizeof(T), AccessKind::CudaAtomicRmw);
+    t.record(rb_, i, sizeof(T), AccessKind::CudaAtomicRmw);
     const T old = data_[i];
     if (t.race_on())
       t.race_write(&data_[i], true,
@@ -611,8 +705,9 @@ class DeviceArray {
 
   /// out[l] = data[idx[l]] for every active lane.
   template <typename Idx>
-  void ld_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx, T* out) const {
-    w.template record_gather<AccessKind::Load>(m, data_.data(), sizeof(T),
+  void ld_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+               std::remove_const_t<T>* out) const {
+    w.template record_gather<AccessKind::Load>(m, rb_, sizeof(T),
                                                idx);
     if ((m & (m + 1)) == 0) {  // prefix mask: active lanes are [0, n)
       const int n = static_cast<int>(std::bit_width(m));
@@ -625,8 +720,8 @@ class DeviceArray {
   }
   /// out[l] = data[first + l] for every active lane.
   void ld_warp_c(WarpCtx& w, WarpCtx::Mask m, std::uint64_t first,
-                 T* out) const {
-    w.template record_contig<AccessKind::Load>(m, data_.data(), sizeof(T),
+                 std::remove_const_t<T>* out) const {
+    w.template record_contig<AccessKind::Load>(m, rb_, sizeof(T),
                                                first);
     if ((m & (m + 1)) == 0) {
       const int n = static_cast<int>(std::bit_width(m));
@@ -643,7 +738,7 @@ class DeviceArray {
   template <typename Idx>
   void st_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
                const T* val) const {
-    w.template record_gather<AccessKind::Store>(m, data_.data(), sizeof(T),
+    w.template record_gather<AccessKind::Store>(m, rb_, sizeof(T),
                                                 idx);
     if (!w.race_on()) {
       if ((m & (m + 1)) == 0) {
@@ -665,7 +760,7 @@ class DeviceArray {
   /// data[first + l] = val[l] for every active lane.
   void st_warp_c(WarpCtx& w, WarpCtx::Mask m, std::uint64_t first,
                  const T* val) const {
-    w.template record_contig<AccessKind::Store>(m, data_.data(), sizeof(T),
+    w.template record_contig<AccessKind::Store>(m, rb_, sizeof(T),
                                                 first);
     if (!w.race_on()) {
       if ((m & (m + 1)) == 0) {
@@ -686,7 +781,7 @@ class DeviceArray {
   /// data[first + l] = v (broadcast) for every active lane.
   void st_warp_cv(WarpCtx& w, WarpCtx::Mask m, std::uint64_t first,
                   T v) const {
-    w.template record_contig<AccessKind::Store>(m, data_.data(), sizeof(T),
+    w.template record_contig<AccessKind::Store>(m, rb_, sizeof(T),
                                                 first);
     if (!w.race_on()) {
       if ((m & (m + 1)) == 0) {
@@ -709,7 +804,7 @@ class DeviceArray {
   template <typename Idx>
   void atomic_min_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
                        const T* val, T* old = nullptr) const {
-    w.template record_gather<AccessKind::Atomic>(m, data_.data(), sizeof(T),
+    w.template record_gather<AccessKind::Atomic>(m, rb_, sizeof(T),
                                                  idx);
     w.for_lanes(m, [&](int l) {
       T& tgt = data_[idx[l]];
@@ -722,7 +817,7 @@ class DeviceArray {
   template <typename Idx>
   void atomic_max_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
                        const T* val, T* old = nullptr) const {
-    w.template record_gather<AccessKind::Atomic>(m, data_.data(), sizeof(T),
+    w.template record_gather<AccessKind::Atomic>(m, rb_, sizeof(T),
                                                  idx);
     w.for_lanes(m, [&](int l) {
       T& tgt = data_[idx[l]];
@@ -735,7 +830,7 @@ class DeviceArray {
   template <typename Idx>
   void atomic_add_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
                        const T* val, T* old = nullptr) const {
-    w.template record_gather<AccessKind::Atomic>(m, data_.data(), sizeof(T),
+    w.template record_gather<AccessKind::Atomic>(m, rb_, sizeof(T),
                                                  idx);
     w.for_lanes(m, [&](int l) {
       T& tgt = data_[idx[l]];
@@ -750,8 +845,9 @@ class DeviceArray {
 
   /// cuda::atomic load/fetch ops, lane-batched (fence-charged kinds).
   template <typename Idx>
-  void ald_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx, T* out) const {
-    w.template record_gather<AccessKind::CudaAtomicLdSt>(m, data_.data(),
+  void ald_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                std::remove_const_t<T>* out) const {
+    w.template record_gather<AccessKind::CudaAtomicLdSt>(m, rb_,
                                                          sizeof(T), idx);
     w.for_lanes(m, [&](int l) {
       if (w.race_on()) w.race_read(l, &data_[idx[l]], true);
@@ -761,7 +857,7 @@ class DeviceArray {
   template <typename Idx>
   void ast_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
                 const T* val) const {
-    w.template record_gather<AccessKind::CudaAtomicLdSt>(m, data_.data(),
+    w.template record_gather<AccessKind::CudaAtomicLdSt>(m, rb_,
                                                          sizeof(T), idx);
     w.for_lanes(m, [&](int l) {
       if (w.race_on())
@@ -773,7 +869,7 @@ class DeviceArray {
   template <typename Idx>
   void afetch_min_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
                        const T* val, T* old = nullptr) const {
-    w.template record_gather<AccessKind::CudaAtomicRmw>(m, data_.data(),
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, rb_,
                                                         sizeof(T), idx);
     w.for_lanes(m, [&](int l) {
       T& tgt = data_[idx[l]];
@@ -786,9 +882,142 @@ class DeviceArray {
   template <typename Idx>
   void afetch_add_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
                        const T* val, T* old = nullptr) const {
-    w.template record_gather<AccessKind::CudaAtomicRmw>(m, data_.data(),
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, rb_,
                                                         sizeof(T), idx);
     w.for_lanes(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on())
+        w.race_write(l, &tgt, true,
+                     detail::delta_sign(o, static_cast<T>(o + val[l])));
+      tgt = o + val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void afetch_max_warp(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                       const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, rb_,
+                                                        sizeof(T), idx);
+    w.for_lanes(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, o < val[l] ? 1 : 0);
+      if (val[l] > o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+
+  // --- sequenced lane-batched accessors (*_warp_seq) ----------------------
+  // Identical recording and charging to the *_warp flavors (the accounting
+  // is order-commutative: per-lane charge slots are independent and the
+  // fence pool repeat-adds one constant), but the FUNCTIONAL effects apply
+  // in WarpCtx::for_lanes_seq order — the per-lane engine's scrambled lane
+  // order. When several lanes of one batch hit the same address, each
+  // lane's observed old value (and the final stored value) is exactly what
+  // the for_each_thread path produced, so migrated kernels with
+  // sibling-visible same-batch RMWs/stores stay bit-identical.
+
+  /// data[idx[l]] = val[l], applied in per-lane engine order (last writer
+  /// in that order wins on address collisions).
+  template <typename Idx>
+  void st_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                   const T* val) const {
+    w.template record_gather<AccessKind::Store>(m, rb_, sizeof(T),
+                                                idx);
+    w.for_lanes_seq(m, [&](int l) {
+      if (w.race_on())
+        w.race_write(l, &data_[idx[l]], false,
+                     detail::delta_sign(data_[idx[l]], val[l]));
+      data_[idx[l]] = val[l];
+    });
+  }
+  /// cuda::atomic store, applied in per-lane engine order.
+  template <typename Idx>
+  void ast_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                    const T* val) const {
+    w.template record_gather<AccessKind::CudaAtomicLdSt>(m, rb_,
+                                                         sizeof(T), idx);
+    w.for_lanes_seq(m, [&](int l) {
+      if (w.race_on())
+        w.race_write(l, &data_[idx[l]], true,
+                     detail::delta_sign(data_[idx[l]], val[l]));
+      data_[idx[l]] = val[l];
+    });
+  }
+  template <typename Idx>
+  void atomic_min_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                           const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::Atomic>(m, rb_, sizeof(T),
+                                                 idx);
+    w.for_lanes_seq(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, val[l] < o ? -1 : 0);
+      if (val[l] < o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void atomic_max_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                           const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::Atomic>(m, rb_, sizeof(T),
+                                                 idx);
+    w.for_lanes_seq(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, o < val[l] ? 1 : 0);
+      if (val[l] > o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void atomic_add_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                           const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::Atomic>(m, rb_, sizeof(T),
+                                                 idx);
+    w.for_lanes_seq(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on())
+        w.race_write(l, &tgt, true,
+                     detail::delta_sign(o, static_cast<T>(o + val[l])));
+      tgt = o + val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void afetch_min_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                           const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, rb_,
+                                                        sizeof(T), idx);
+    w.for_lanes_seq(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, val[l] < o ? -1 : 0);
+      if (val[l] < o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void afetch_max_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                           const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, rb_,
+                                                        sizeof(T), idx);
+    w.for_lanes_seq(m, [&](int l) {
+      T& tgt = data_[idx[l]];
+      const T o = tgt;
+      if (w.race_on()) w.race_write(l, &tgt, true, o < val[l] ? 1 : 0);
+      if (val[l] > o) tgt = val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+  template <typename Idx>
+  void afetch_add_warp_seq(WarpCtx& w, WarpCtx::Mask m, const Idx* idx,
+                           const T* val, T* old = nullptr) const {
+    w.template record_gather<AccessKind::CudaAtomicRmw>(m, rb_,
+                                                        sizeof(T), idx);
+    w.for_lanes_seq(m, [&](int l) {
       T& tgt = data_[idx[l]];
       const T o = tgt;
       if (w.race_on())
@@ -801,6 +1030,7 @@ class DeviceArray {
 
  private:
   std::span<T> data_;
+  const void* rb_ = nullptr;  // virtual base for recording (see ctor)
 };
 
 /// Handle to one simulated thread block.
@@ -869,7 +1099,10 @@ class Block {
       const std::uint32_t lo = w * ws;
       const std::uint32_t count = std::min(bdim_, (w + 1) * ws) - lo;
       rec_.set_active_lanes(static_cast<int>(count));
-      ctx.reset_warp(lo, static_cast<int>(count));
+      // The warp carries the per-lane engine's lane-visit stride so the
+      // sequenced accessors can replay its exact lane order (for_lanes_seq).
+      ctx.reset_warp(lo, static_cast<int>(count),
+                     count == ws ? lane_step_full_ : lane_step_tail_);
       fn(ctx);
       rec_.flush(dev_);
       w += step;
@@ -908,10 +1141,38 @@ class Block {
     return old;
   }
 
+  /// Lane-batched sibling of atomic_add_block: every lane of m performs a
+  /// shared-memory atomic add on `target`, charged identically to popc(m)
+  /// scalar atomic_add_block calls (one ALU op per lane, one block-serial
+  /// unit per lane — repeated adds, so the accumulated double matches the
+  /// per-lane path bit-for-bit) and applied in for_lanes_seq order so each
+  /// lane's observed old value reproduces the per-lane engine's chain.
+  template <typename T>
+  void atomic_add_block_warp(WarpCtx& w, WarpCtx::Mask m, T& target,
+                             const T* val, T* old = nullptr) {
+    if (m == 0) return;
+    w.work(m, 1);
+    w.for_lanes(m, [&](int) {
+      block_serial_cycles_ += block_atomic_cycles();
+      note_block_atomic();
+    });
+    w.for_lanes_seq(m, [&](int l) {
+      const T o = target;
+      if (w.race_on())
+        w.race_write(l, &target, true,
+                     detail::delta_sign(o, static_cast<T>(o + val[l])));
+      target = o + val[l];
+      if (old != nullptr) old[l] = o;
+    });
+  }
+
   /// Cooperative warp+block tree sum over per-thread values (the paper's
   /// reduction-add, Listing 10c): log2(warp_size) shuffle steps per warp
   /// plus a shared-memory combine. Returns the block total.
   double reduce_add(std::span<const double> per_thread_values);
+  /// Integral overload with the identical cycle charges (the charge depends
+  /// only on the value count): lossless triangle-count reductions.
+  std::uint64_t reduce_add(std::span<const std::uint64_t> per_thread_values);
 
   // internal use by Device::launch
   void begin_block(std::uint32_t bidx);
@@ -949,9 +1210,29 @@ class Device {
 
   /// Wraps host memory as a global-memory array (the "device copy"; no
   /// transfer is simulated because the paper times kernels, not copies).
+  /// Each distinct host buffer gets a deterministic *virtual* base for
+  /// recording — page-aligned, assigned in wrap order — so modeled time is
+  /// identical across processes regardless of host heap layout (real
+  /// addresses made atomic-chain hash collisions ASLR-dependent). Wrapping
+  /// the same pointer again (NonDet in-place aliases) reuses its base, so
+  /// chain identity through either wrapper is preserved.
   template <typename T>
   DeviceArray<T> array(std::span<T> data) {
-    return DeviceArray<T>(data);
+    const void* host = static_cast<const void*>(data.data());
+    std::uint64_t vb = 0;
+    for (const auto& [p, b] : vbases_) {
+      if (p == host) {
+        vb = b;
+        break;
+      }
+    }
+    if (vb == 0) {
+      vb = next_vbase_;
+      constexpr std::uint64_t kPage = 4096;
+      next_vbase_ += (data.size_bytes() + 2 * kPage - 1) & ~(kPage - 1);
+      vbases_.emplace_back(host, vb);
+    }
+    return DeviceArray<T>(data, reinterpret_cast<const void*>(vb));
   }
 
   /// Runs `fn(Block&)` for every block of the grid and charges the modeled
@@ -1016,6 +1297,7 @@ class Device {
   void add_transactions(std::uint64_t n) { stats_.transactions += n; }
   void add_barriers(std::uint64_t n) { stats_.barriers += n; }
   void add_mem_instructions(std::uint64_t n) { stats_.mem_instructions += n; }
+  void add_lane_accesses(std::uint64_t n) { stats_.lane_accesses += n; }
   /// SIMT lockstep accounting for one warp region: the lanes' summed work
   /// vs the slot cycles the whole warp sits through (max lane x lanes).
   void add_simt_cycles(double useful, double lockstep) {
@@ -1027,6 +1309,7 @@ class Device {
   void note_atomic_chain(std::uint64_t hashed_addr, double cycles,
                          std::uint32_t owner) {
     const std::size_t slot = hashed_addr & (hotspot_.size() - 1);
+    HotSlot& h = hotspot_[slot];
     ++stats_.atomic_ops;
     // A conflict is contention: a different warp hit this address earlier in
     // the launch. One warp re-touching its own address (e.g. a pull-style
@@ -1034,11 +1317,9 @@ class Device {
     // itself and is not counted.
     const std::uint32_t tagged = owner + 1;  // 0 = never hit
     if (ref_) {
-      hotspot_[slot] += cycles;
-      if (hotspot_owner_[slot] != 0 && hotspot_owner_[slot] != tagged) {
-        ++stats_.atomic_conflicts;
-      }
-      hotspot_owner_[slot] = tagged;
+      h.cycles += cycles;
+      if (h.owner != 0 && h.owner != tagged) ++stats_.atomic_conflicts;
+      h.owner = tagged;
       return;
     }
     // Epoch tagging: a slot whose epoch is stale was not touched this
@@ -1046,17 +1327,17 @@ class Device {
     // == cycles exactly, so lazily materializing the zero is bit-identical
     // to the memset the reference path performs.
     double chain;
-    if (hotspot_epoch_[slot] != launch_epoch_) {
-      hotspot_epoch_[slot] = launch_epoch_;
+    if (h.epoch != launch_epoch_) {
+      h.epoch = launch_epoch_;
       chain = cycles;
     } else {
-      chain = hotspot_[slot] + cycles;
+      chain = h.cycles + cycles;
       // A live slot was necessarily written by some warp this launch, so
       // the legacy owner != 0 guard is implied.
-      if (hotspot_owner_[slot] != tagged) ++stats_.atomic_conflicts;
+      if (h.owner != tagged) ++stats_.atomic_conflicts;
     }
-    hotspot_owner_[slot] = tagged;
-    hotspot_[slot] = chain;
+    h.owner = tagged;
+    h.cycles = chain;
     // Chains only grow within a launch, so a running max over the updates
     // equals the reference path's final full-table scan bit-for-bit.
     if (chain > hot_max_) hot_max_ = chain;
@@ -1082,10 +1363,20 @@ class Device {
   // slots read as (cycles 0, owner never-hit). This replaces the per-launch
   // 20KB assign() memsets, and hot_max_ tracks the running maximum so
   // finalize_launch does not rescan the table (a running max of monotone
-  // accumulations equals the final scan's max bit-for-bit).
-  std::vector<double> hotspot_;
-  std::vector<std::uint32_t> hotspot_owner_;  // last warp to hit each slot
-  std::vector<std::uint64_t> hotspot_epoch_;
+  // accumulations equals the final scan's max bit-for-bit). One struct per
+  // slot (not parallel arrays): a chain update is a single-cache-line
+  // touch, and it is THE per-access cost atomic-heavy kernels share across
+  // both warp engines.
+  struct HotSlot {
+    double cycles = 0;
+    std::uint64_t epoch = 0;
+    std::uint32_t owner = 0;  // last warp to hit this slot
+  };
+  std::vector<HotSlot> hotspot_;
+  // Virtual-base allocator for array() (host pointer -> assigned base).
+  // Few arrays per kernel, so a scanned vector beats a hash map here.
+  std::vector<std::pair<const void*, std::uint64_t>> vbases_;
+  std::uint64_t next_vbase_ = std::uint64_t{1} << 40;
   std::uint64_t launch_epoch_ = 0;
   double hot_max_ = 0;
   bool ref_ = false;  // legacy reference algorithms (golden test only)
@@ -1133,10 +1424,81 @@ template <AccessKind K, typename Idx>
 inline void WarpCtx::record_gather(Mask m, const void* base, std::size_t esz,
                                    const Idx* idx) {
   if (m == 0) return;
+  rec_.lane_accesses_ += static_cast<std::uint64_t>(std::popcount(m));
   constexpr bool kChain =
       K == AccessKind::Atomic || K == AccessKind::CudaAtomicRmw;
   const std::uint64_t b =
       reinterpret_cast<std::uint64_t>(base) & rec_.base_mask_;
+  // Single live lane — the long tail of ragged walks, where one max-degree
+  // lane outlives its 31 siblings round after round (R-MAT degree skew
+  // makes this the MOST common batch shape, not a corner case). A 1-lane
+  // batch needs no collection ladder: one charge, one address, one
+  // transaction — the same integers fast_mem/fast_chain produce for n=1.
+  if ((m & (m - 1)) == 0 && !dev_.reference_mode()) {
+    const int l = std::countr_zero(m);
+    const auto k = static_cast<std::size_t>(K);
+    rec_.lane_cycles_[l] += rec_.lane_charge_[k];
+    if constexpr (K == AccessKind::CudaAtomicLdSt ||
+                  K == AccessKind::CudaAtomicRmw) {
+      rec_.fence_cycles_ += rec_.fence_charge_[k];
+    }
+    const std::uint64_t a = b + static_cast<std::uint64_t>(idx[l]) * esz;
+    if constexpr (kChain) {
+      // fast_chain's n=1 shape, inlined: uniform trivially, one chain unit.
+      const DeviceSpec& spec = *rec_.spec_;
+      dev_.note_atomic_chain(
+          detail::mix_addr(a),
+          spec.same_address_atomic_cycles *
+              (K == AccessKind::CudaAtomicRmw ? spec.cudaatomic_rmw_mult
+                                              : 1.0),
+          rec_.owner_);
+      dev_.add_transactions(1);
+    } else {
+      dev_.add_mem_instructions(1);
+      dev_.add_transactions(1);
+    }
+    return;
+  }
+  // Two live lanes — the next-most-common ragged-tail shape. Charges land
+  // in the same ascending-lane sequence as charge_and_collect, and the
+  // accounting reproduces the generic ladders' n=2 integers exactly: mem
+  // distinct-lines is 1 or 2 by direct compare (what sorted-adjacent,
+  // bitmap, and dedup all reduce to), chain notes first-seen order a0, a1.
+  const Mask m2 = m & (m - 1);
+  if ((m2 & (m2 - 1)) == 0 && !dev_.reference_mode()) {
+    const int l0 = std::countr_zero(m);
+    const int l1 = std::countr_zero(m2);
+    const auto k = static_cast<std::size_t>(K);
+    const double c = rec_.lane_charge_[k];
+    rec_.lane_cycles_[l0] += c;
+    rec_.lane_cycles_[l1] += c;
+    if constexpr (K == AccessKind::CudaAtomicLdSt ||
+                  K == AccessKind::CudaAtomicRmw) {
+      const double f = rec_.fence_charge_[k];
+      rec_.fence_cycles_ += f;
+      rec_.fence_cycles_ += f;
+    }
+    const std::uint64_t a0 = b + static_cast<std::uint64_t>(idx[l0]) * esz;
+    const std::uint64_t a1 = b + static_cast<std::uint64_t>(idx[l1]) * esz;
+    if constexpr (kChain) {
+      const DeviceSpec& spec = *rec_.spec_;
+      const double unit =
+          spec.same_address_atomic_cycles *
+          (K == AccessKind::CudaAtomicRmw ? spec.cudaatomic_rmw_mult : 1.0);
+      dev_.note_atomic_chain(detail::mix_addr(a0), unit, rec_.owner_);
+      if (a1 != a0) {
+        dev_.note_atomic_chain(detail::mix_addr(a1), unit, rec_.owner_);
+        dev_.add_transactions(2);
+      } else {
+        dev_.add_transactions(1);
+      }
+    } else {
+      const int sh = rec_.line_shift_;
+      dev_.add_mem_instructions(1);
+      dev_.add_transactions((a0 >> sh) != (a1 >> sh) ? 2 : 1);
+    }
+    return;
+  }
   alignas(64) std::uint64_t tmp[kMaxLanes];
   if constexpr (kChain) {
     const int n = charge_and_collect<K>(
@@ -1166,6 +1528,7 @@ template <AccessKind K>
 inline void WarpCtx::record_contig(Mask m, const void* base, std::size_t esz,
                                    std::uint64_t first) {
   if (m == 0) return;
+  rec_.lane_accesses_ += static_cast<std::uint64_t>(std::popcount(m));
   constexpr bool kChain =
       K == AccessKind::Atomic || K == AccessKind::CudaAtomicRmw;
   const std::uint64_t b =
@@ -1217,6 +1580,64 @@ inline void WarpCtx::record_contig(Mask m, const void* base, std::size_t esz,
     return;
   }
   fast_mem(tmp, n);
+}
+
+template <typename C, typename Idx, typename T>
+inline void WarpCtx::relax_min(Mask m, const DeviceArray<C>& col,
+                               const Idx* cur, const DeviceArray<T>& dst,
+                               const T* val, std::remove_const_t<C>* u) {
+  if (m == 0) return;
+  // Reference mode must stage two arena groups in op order, and racecheck
+  // must observe the unfused hook sequence — both delegate to the pair the
+  // fusion replaces.
+  if (dev_.reference_mode() || race_on()) {
+    col.ld_warp(*this, m, cur, u);
+    dst.atomic_min_warp(*this, m, u, val);
+    return;
+  }
+  rec_.lane_accesses_ += 2 * static_cast<std::uint64_t>(std::popcount(m));
+  const std::uint64_t bc =
+      reinterpret_cast<std::uint64_t>(col.rec_base()) & rec_.base_mask_;
+  const std::uint64_t bd =
+      reinterpret_cast<std::uint64_t>(dst.rec_base()) & rec_.base_mask_;
+  const double cl = rec_.lane_charge_[static_cast<std::size_t>(
+      AccessKind::Load)];
+  const double ca = rec_.lane_charge_[static_cast<std::size_t>(
+      AccessKind::Atomic)];
+  const int sh = rec_.line_shift_;
+  const std::span<C> cd = col.raw();
+  const std::span<T> dd = dst.raw();
+  // One scan does it all. Per lane slot the charge sequence is load-add
+  // then atomic-add, exactly what the unfused record pair applies; the
+  // hotspot and transaction accounting runs after the scan from the
+  // collected batches, so fast_mem/fast_chain see the same inputs in the
+  // same order as the two separate record_gather calls.
+  alignas(64) std::uint64_t lines[kMaxLanes];
+  alignas(64) std::uint64_t addrs[kMaxLanes];
+  int n = 0;
+  for (Mask mm = m; mm != 0; mm &= mm - 1) {
+    const int l = std::countr_zero(mm);
+    rec_.lane_cycles_[l] += cl;
+    const auto uv = cd[cur[l]];
+    u[l] = uv;
+    lines[n] = (bc + static_cast<std::uint64_t>(cur[l]) * sizeof(C)) >> sh;
+    rec_.lane_cycles_[l] += ca;
+    addrs[n] = bd + static_cast<std::uint64_t>(uv) * sizeof(T);
+    T& tgt = dd[uv];
+    if (val[l] < tgt) tgt = val[l];
+    ++n;
+  }
+  if (n == 1) {
+    dev_.add_mem_instructions(1);
+    dev_.add_transactions(1);
+    dev_.note_atomic_chain(detail::mix_addr(addrs[0]),
+                           rec_.spec_->same_address_atomic_cycles,
+                           rec_.owner_);
+    dev_.add_transactions(1);
+    return;
+  }
+  fast_mem(lines, n);
+  fast_chain(addrs, n, /*rmw=*/false);
 }
 
 }  // namespace indigo::vcuda

@@ -31,6 +31,7 @@ void expect_identical(const LaunchStats& ref, const LaunchStats& fast) {
   EXPECT_EQ(bits(ref.fence_cycles), bits(fast.fence_cycles));
   EXPECT_EQ(ref.barriers, fast.barriers);
   EXPECT_EQ(ref.mem_instructions, fast.mem_instructions);
+  EXPECT_EQ(ref.lane_accesses, fast.lane_accesses);
   EXPECT_EQ(ref.atomic_ops, fast.atomic_ops);
   EXPECT_EQ(ref.atomic_conflicts, fast.atomic_conflicts);
   EXPECT_EQ(ref.block_atomic_ops, fast.block_atomic_ops);
@@ -385,6 +386,376 @@ TEST(SimGolden, LaneLoopAllInactiveAndTailWarps) {
   for (std::uint32_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i], i < 40 ? 10u : 0u) << i;
   }
+}
+
+// --- sequenced accessors, edge_walk, block atomics --------------------------
+// The ragged-kernel migration relies on three primitives beyond the plain
+// batched accessors: *sequenced* accessors (functional effects applied in the
+// per-lane engine's scrambled lane order, so same-batch address collisions
+// replay the exact old-value chains), the edge_walk ragged-walk helper
+// (prefix-mask rounds with body-driven refinement), and the lane-batched
+// shared-memory atomic. Each twin below runs the same kernel per-lane and
+// lane-loop on one set of buffers and demands identical stats AND values.
+
+TEST(SimGolden, SequencedAccessorsReplayPerLaneCollisions) {
+  // Every lane of a warp fetch_min's into ONE of two hot slots and then
+  // conditionally stores a flag: the fetch returns (and therefore the flag
+  // stores) depend on the lane application order, which for the per-lane
+  // engine is the scrambled coprime order — the sequenced accessor must
+  // reproduce it exactly, in both model modes.
+  constexpr std::uint32_t kN = 256;
+  std::vector<std::uint32_t> slots(64), flag(4);
+  for (const bool reference : {false, true}) {
+    set_reference_model(reference);
+    SCOPED_TRACE(reference ? "reference model" : "fast model");
+    auto run = [&](bool lane_loop) {
+      std::fill(slots.begin(), slots.end(), 0xffffffffu);
+      std::fill(flag.begin(), flag.end(), 0u);
+      Device dev(rtx3090_like());
+      auto sl = dev.array(std::span<std::uint32_t>(slots));
+      auto fl = dev.array(std::span<std::uint32_t>(flag));
+      dev.launch(2, 128, [&](Block& blk) {
+        if (lane_loop) {
+          blk.for_each_warp([&](WarpCtx& w) {
+            const WarpCtx::Mask m = w.full();
+            LaneVec<std::uint32_t> idx, val, old, fidx, one;
+            w.for_lanes(m, [&](int l) {
+              idx[l] = w.tid(l) % 2;       // two hot slots per block
+              val[l] = 1000u - w.gidx(l);  // later lanes win
+            });
+            sl.atomic_min_warp_seq(w, m, idx.v, val.v, old.v);
+            const WarpCtx::Mask imp =
+                w.where(m, [&](int l) { return val[l] < old[l]; });
+            w.for_lanes(imp, [&](int l) {
+              fidx[l] = 0;
+              one[l] = 1u;
+            });
+            fl.st_warp_seq(w, imp, fidx.v, one.v);
+          });
+        } else {
+          blk.for_each_thread([&](Thread& t) {
+            const std::uint32_t old =
+                sl.atomic_min(t, t.thread_idx() % 2, 1000u - t.gidx());
+            if (1000u - t.gidx() < old) fl.st(t, 0, 1u);
+          });
+        }
+      });
+      return dev.elapsed_seconds();
+    };
+    const double s_pl = run(false);
+    const std::vector<std::uint32_t> slots_pl = slots, flag_pl = flag;
+    const double s_ll = run(true);
+    EXPECT_EQ(bits(s_pl), bits(s_ll));
+    EXPECT_EQ(slots_pl, slots);
+    EXPECT_EQ(flag_pl, flag);
+    (void)kN;
+  }
+  set_reference_model(false);
+}
+
+TEST(SimGolden, EdgeWalkMatchesPerLaneStridedLoop) {
+  // A warp-granularity ragged neighbour scan in both styles: per-lane
+  // strided loops whose trip counts differ per lane vs edge_walk's
+  // round-major batches. With a uniform stride the live masks are exactly
+  // the per-lane op groups, so stats must match bit-for-bit; the body also
+  // refines the mask (drops lanes that hit a sentinel) to exercise the
+  // data-dependent-break mapping used by the MIS scan region.
+  constexpr std::uint32_t n = 96;
+  std::vector<std::uint32_t> degv(n), out(n);
+  for (std::uint32_t i = 0; i < n; ++i) degv[i] = (i * 13u) % 40u;
+  for (const bool reference : {false, true}) {
+    set_reference_model(reference);
+    SCOPED_TRACE(reference ? "reference model" : "fast model");
+    auto run = [&](bool lane_loop) {
+      std::fill(out.begin(), out.end(), 0u);
+      Device dev(rtx3090_like());
+      auto dg = dev.array(std::span<std::uint32_t>(degv));
+      auto dst = dev.array(std::span<std::uint32_t>(out));
+      dev.launch(3, 64, [&](Block& blk) {
+        if (lane_loop) {
+          blk.for_each_warp([&](WarpCtx& w) {
+            const std::uint32_t v = w.gidx_base() / 32;
+            const WarpCtx::Mask all = w.full();
+            LaneVec<std::uint32_t> vv, lim, e, fin, x, sidx;
+            w.for_lanes(all, [&](int l) { vv[l] = v; });
+            dg.ld_warp(w, all, vv.v, lim.v);
+            w.for_lanes(all, [&](int l) {
+              e[l] = static_cast<std::uint32_t>(l);
+              fin[l] = lim[l];
+              sidx[l] = (v * 32u + static_cast<std::uint32_t>(l)) % n;
+            });
+            w.edge_walk(all, e, fin, 32u, [&](WarpCtx::Mask live) {
+              w.for_lanes(live, [&](int l) { vv[l] = (v + e[l]) % n; });
+              dg.ld_warp(w, live, vv.v, x.v);
+              dst.atomic_add_warp(w, live, sidx.v, x.v);
+              w.work(live, 1.0);
+              // Lanes that read a sentinel degree leave the walk early —
+              // the round-end refinement that models a per-lane `break`.
+              const WarpCtx::Mask done =
+                  w.where(live, [&](int l) { return x[l] == 39u; });
+              return static_cast<WarpCtx::Mask>(live & ~done);
+            });
+          });
+        } else {
+          blk.for_each_thread([&](Thread& t) {
+            const std::uint32_t v = t.gidx() / 32;
+            const std::uint32_t lim = dg.ld(t, v);
+            const std::uint32_t sidx =
+                (v * 32u + static_cast<std::uint32_t>(t.lane())) % n;
+            for (std::uint32_t e = static_cast<std::uint32_t>(t.lane());
+                 e < lim; e += 32u) {
+              const std::uint32_t x = dg.ld(t, (v + e) % n);
+              dst.atomic_add(t, sidx, x);
+              t.work(1.0);
+              if (x == 39u) break;
+            }
+          });
+        }
+      });
+      return dev.elapsed_seconds();
+    };
+    const double s_pl = run(false);
+    const std::vector<std::uint32_t> out_pl = out;
+    const double s_ll = run(true);
+    EXPECT_EQ(bits(s_pl), bits(s_ll));
+    EXPECT_EQ(out_pl, out);
+  }
+  set_reference_model(false);
+}
+
+TEST(SimGolden, FusedRelaxMinMatchesUnfusedPair) {
+  // WarpCtx::relax_min fuses the per-round body of a push-relaxation edge
+  // walk (gather col, atomicMin into dist) into one mask scan. Its contract
+  // is bit-identity with the unfused ld_warp + atomic_min_warp pair, in
+  // values and in modeled time, across both model modes.
+  constexpr std::uint32_t n = 64;
+  std::vector<eid_t> rowv(n + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    rowv[v + 1] = rowv[v] + (v * 7u) % 23u;  // skewed ragged degrees
+  }
+  std::vector<vid_t> colv(rowv[n]);
+  for (std::size_t j = 0; j < colv.size(); ++j) {
+    colv[j] = static_cast<vid_t>((j * 29u + 5u) % n);  // scattered targets
+  }
+  std::vector<std::uint32_t> dist(n);
+  for (const bool reference : {false, true}) {
+    set_reference_model(reference);
+    SCOPED_TRACE(reference ? "reference model" : "fast model");
+    auto run = [&](bool fused) {
+      for (std::uint32_t v = 0; v < n; ++v) dist[v] = (v * 11u) % 37u;
+      Device dev(rtx3090_like());
+      auto row = dev.array(std::span<const eid_t>(rowv));
+      auto col = dev.array(std::span<const vid_t>(colv));
+      auto d = dev.array(std::span<std::uint32_t>(dist));
+      dev.launch(2, 32, [&](Block& blk) {
+        blk.for_each_warp([&](WarpCtx& w) {
+          const std::uint32_t base = w.gidx_base();
+          const WarpCtx::Mask active = w.mask_first(n - base);
+          LaneVec<std::uint32_t> dv, nd;
+          LaneVec<eid_t> cur, hi;
+          LaneVec<vid_t> u;
+          d.ld_warp_c(w, active, base, dv.v);
+          row.ld_warp_c(w, active, base, cur.v);
+          row.ld_warp_c(w, active, base + 1, hi.v);
+          w.for_lanes(active, [&](int l) { nd[l] = dv[l] + 1; });
+          w.edge_walk(active, cur, hi, eid_t{1}, [&](WarpCtx::Mask live) {
+            if (fused) {
+              w.relax_min(live, col, cur.v, d, nd.v, u.v);
+            } else {
+              col.ld_warp(w, live, cur.v, u.v);
+              d.atomic_min_warp(w, live, u.v, nd.v);
+            }
+            return live;
+          });
+        });
+      });
+      return dev.elapsed_seconds();
+    };
+    const double s_un = run(false);
+    const std::vector<std::uint32_t> dist_un = dist;
+    const double s_fu = run(true);
+    EXPECT_EQ(bits(s_un), bits(s_fu));
+    EXPECT_EQ(dist_un, dist);
+  }
+  set_reference_model(false);
+}
+
+TEST(SimGolden, BlockAtomicAddWarpTwin) {
+  std::vector<std::uint32_t> out(8);
+  for (const bool reference : {false, true}) {
+    set_reference_model(reference);
+    SCOPED_TRACE(reference ? "reference model" : "fast model");
+    auto run = [&](bool lane_loop) {
+      std::fill(out.begin(), out.end(), 0u);
+      Device dev(rtx3090_like());
+      auto dst = dev.array(std::span<std::uint32_t>(out));
+      dev.launch(2, 96, [&](Block& blk) {
+        auto sh = blk.shared_array<std::uint32_t>(1);
+        if (lane_loop) {
+          blk.for_each_warp([&](WarpCtx& w) {
+            const WarpCtx::Mask m = w.full();
+            LaneVec<std::uint32_t> val;
+            w.for_lanes(m, [&](int l) { val[l] = w.gidx(l) + 1; });
+            blk.atomic_add_block_warp(w, m, sh[0], val.v);
+          });
+        } else {
+          blk.for_each_thread(
+              [&](Thread& t) { blk.atomic_add_block(t, sh[0], t.gidx() + 1); });
+        }
+        blk.sync();
+        blk.for_each_thread([&](Thread& t) {
+          if (t.thread_idx() == 0) dst.st(t, blk.block_idx(), sh[0]);
+        });
+      });
+      return dev.elapsed_seconds();
+    };
+    const double s_pl = run(false);
+    const std::vector<std::uint32_t> out_pl = out;
+    const double s_ll = run(true);
+    EXPECT_EQ(bits(s_pl), bits(s_ll));
+    EXPECT_EQ(out_pl, out);
+  }
+  set_reference_model(false);
+}
+
+// --- engine-switch equivalence over the real variants -----------------------
+// The tentpole guarantee: every kernel migrated to the lane-loop engine is
+// bit-identical to its per-lane reference body — modeled seconds, iteration
+// counts, and every output field. Kernels held on the compat path run the
+// same body under both engines, so the whole registry must agree; MIS and PR
+// stress sibling-lane visibility (in-place NonDet updates, worklist requeue
+// chains, shared-flag pipelines) across the style axes.
+TEST(SimGolden, EngineSwitchVariantsBitIdentical) {
+  variants::register_all_variants();
+  const Graph g = make_rmat(8);
+  const auto cuda = Registry::instance().select(Model::Cuda, std::nullopt);
+  ASSERT_FALSE(cuda.empty());
+  RunOptions opts;
+  opts.source = 0;
+  std::size_t checked = 0, ref_checked = 0;
+  for (const Variant* v : cuda) {
+    const bool migrated_family = v->algo == Algorithm::MIS ||
+                                 v->algo == Algorithm::PR ||
+                                 v->algo == Algorithm::TC;
+    ++checked;
+    set_warp_engine(WarpEngine::PerLane);
+    const RunResult per_lane = v->run(g, opts);
+    set_warp_engine(WarpEngine::LaneLoop);
+    const RunResult lane_loop = v->run(g, opts);
+    EXPECT_EQ(bits(per_lane.seconds), bits(lane_loop.seconds)) << v->name;
+    EXPECT_EQ(per_lane.iterations, lane_loop.iterations) << v->name;
+    EXPECT_EQ(per_lane.converged, lane_loop.converged) << v->name;
+    EXPECT_EQ(per_lane.output.labels, lane_loop.output.labels) << v->name;
+    EXPECT_EQ(per_lane.output.count, lane_loop.output.count) << v->name;
+    ASSERT_EQ(per_lane.output.ranks.size(), lane_loop.output.ranks.size())
+        << v->name;
+    for (std::size_t i = 0; i < per_lane.output.ranks.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(per_lane.output.ranks[i]),
+                std::bit_cast<std::uint32_t>(lane_loop.output.ranks[i]))
+          << v->name << " rank " << i;
+    }
+    // Spot-check the first few migrated variants in reference-model mode
+    // too: engine equivalence must hold under the legacy flush as well.
+    if (migrated_family && ref_checked < 6) {
+      set_reference_model(true);
+      set_warp_engine(WarpEngine::PerLane);
+      const RunResult rp = v->run(g, opts);
+      set_warp_engine(WarpEngine::LaneLoop);
+      const RunResult rl = v->run(g, opts);
+      set_reference_model(false);
+      EXPECT_EQ(bits(rp.seconds), bits(rl.seconds)) << v->name << " (ref)";
+      EXPECT_EQ(rp.output.labels, rl.output.labels) << v->name << " (ref)";
+      ++ref_checked;
+    }
+  }
+  set_warp_engine(WarpEngine::LaneLoop);
+  EXPECT_GT(ref_checked, 0u);
+}
+
+// --- integral reduction (TC count precision) --------------------------------
+// TC used to accumulate per-block counts in double shared slots and cast the
+// reduced total to uint64: any block total above 2^53 silently truncated.
+// The uint64 reduce_add overload must be exact where the double tree is not.
+TEST(SimGolden, ReduceAddUint64ExactAbove2p53) {
+  Device dev(rtx3090_like());
+  constexpr std::uint64_t kBig = 1ull << 53;
+  dev.launch(1, 64, [&](Block& blk) {
+    std::vector<std::uint64_t> vals(64, 0);
+    vals[0] = kBig + 1;  // not representable as double
+    vals[1] = 1;
+    vals[63] = 3;
+    const std::uint64_t exact =
+        blk.reduce_add(std::span<const std::uint64_t>(vals));
+    EXPECT_EQ(exact, kBig + 5);
+    // The old double pipeline loses the low bits of the same data.
+    std::vector<double> dvals(vals.begin(), vals.end());
+    const double rounded = blk.reduce_add(std::span<const double>(dvals));
+    EXPECT_NE(static_cast<std::uint64_t>(rounded), kBig + 5);
+  });
+}
+
+// --- worklist overflow recovery ---------------------------------------------
+// Edge-mode data-driven relaxation pushes whole degree ranges through one
+// fetch_add; with the logical capacity clamped tiny, every iteration
+// overflows, the device guard saturates the counter instead of wrapping it,
+// and the host recovery sweep must still converge to the right labels.
+TEST(SimGolden, WorklistOverflowRecoverySweep) {
+  variants::register_all_variants();
+  const Graph g = make_rmat(7);
+  const auto cuda = Registry::instance().select(Model::Cuda, std::nullopt);
+  RunOptions opts;
+  opts.source = 0;
+  std::size_t tested = 0;
+  for (const Variant* v : cuda) {
+    if (v->algo != Algorithm::BFS || v->style.flow != Flow::Edge ||
+        v->style.drive == Drive::Topology) {
+      continue;
+    }
+    const RunResult normal = v->run(g, opts);
+    RunOptions tiny = opts;
+    tiny.wl_cap_override = 8;  // far below any frontier's degree sum
+    const RunResult forced = v->run(g, tiny);
+    EXPECT_TRUE(forced.converged) << v->name;
+    EXPECT_EQ(normal.output.labels, forced.output.labels) << v->name;
+    if (++tested >= 4) break;  // a few duplicate/no-dup × det/non-det shapes
+  }
+  EXPECT_GT(tested, 0u);
+}
+
+// --- host-address independence ----------------------------------------------
+// Modeled time must not depend on where the host heap lands: Device::array
+// assigns deterministic virtual bases for recording, so the same kernel on
+// buffers at different host addresses / 128B phases models identically.
+// (With real addresses, ASLR made atomic-chain hash collisions — and with
+// them cudaatomic modeled seconds — vary from process to process.)
+TEST(SimGolden, ModeledTimeIndependentOfHostAddresses) {
+  constexpr std::uint32_t kN = 2048;
+  // One oversized backing store; carve the working arrays out at a given
+  // element offset so both their addresses and their transaction-line
+  // phases differ between the two runs.
+  auto run_at = [&](std::size_t off) {
+    std::vector<std::uint32_t> backing(2 * kN + 512, 0);
+    std::vector<std::uint32_t> hist(kN, 0);
+    Device dev(rtx3090_like());
+    auto vals =
+        dev.array(std::span<std::uint32_t>(backing.data() + off, kN));
+    auto hot = dev.array(std::span<std::uint32_t>(hist));
+    dev.launch(kN / 256, 256, [&](Block& blk) {
+      blk.for_each_thread([&](Thread& t) {
+        const std::uint32_t i = t.gidx();
+        const std::uint32_t v = vals.ld(t, i);
+        // Scattered RMWs: chain identity flows through the hotspot hash,
+        // which the old real-address model made layout-dependent.
+        hot.afetch_add(t, (v + i * 37u) % kN, 1u);
+        vals.st(t, i, v + 1);
+      });
+    });
+    return std::pair{dev.last_stats(), dev.elapsed_seconds()};
+  };
+  const auto [a, sa] = run_at(0);
+  const auto [b, sb] = run_at(33);  // different address AND line phase
+  expect_identical(a, b);
+  EXPECT_EQ(bits(sa), bits(sb));
 }
 
 }  // namespace
