@@ -68,6 +68,12 @@ std::string fmt_ms(double us) {
   return buf;
 }
 
+std::string fmt_mib(double bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
 void print_ranked(const char* title,
                   const std::map<std::string, double>& by_key,
                   std::size_t top) {
@@ -126,6 +132,12 @@ int main(int argc, char** argv) {
   std::vector<JobAttempt> jobs;
   std::map<std::string, double> by_algo, by_graph, by_style, by_cell;
   std::map<std::string, double> by_proc;  // fleet-worker attribution
+  // Device-memory attribution from vcuda.launch spans: each span carries
+  // the device's modeled footprint at launch time, so the merged streams
+  // yield a peak per process and overall.
+  std::map<std::string, double> foot_peak_by_proc;
+  double foot_peak_bytes = 0;  // peak modeled footprint across files
+  std::size_t launches_seen = 0;
   double busy_us = 0;
   double run_dur_us = 0, run_workers = 0;
   double steals = 0, retries = 0, timeouts = 0, quarantined = 0;
@@ -165,6 +177,19 @@ int main(int argc, char** argv) {
           if (const auto it = ev.num_args.find(key);
               it != ev.num_args.end()) {
             *slot += it->second;
+          }
+        }
+        continue;
+      }
+      if (ev.cat == "vcuda" && ev.name == "vcuda.launch") {
+        if (const auto it = ev.num_args.find("footprint_bytes");
+            it != ev.num_args.end()) {
+          ++launches_seen;
+          foot_peak_bytes = std::max(foot_peak_bytes, it->second);
+          const std::uint64_t pid = ev.pid != 0 ? ev.pid : file_pid;
+          if (pid != 0) {
+            double& p = foot_peak_by_proc["pid" + std::to_string(pid)];
+            p = std::max(p, it->second);
           }
         }
         continue;
@@ -245,6 +270,19 @@ int main(int argc, char** argv) {
     std::printf("  steals %.0f, retries %.0f, timeouts %.0f, "
                 "quarantined %.0f\n",
                 steals, retries, timeouts, quarantined);
+  }
+
+  if (launches_seen > 0) {
+    std::cout << "\ndevice memory (from vcuda.launch spans):\n";
+    std::printf("  %-58s %12s\n", "kernel launches",
+                std::to_string(launches_seen).c_str());
+    std::printf("  %-58s %12s\n", "peak modeled footprint",
+                fmt_mib(foot_peak_bytes).c_str());
+    for (const auto& [proc, peak] : foot_peak_by_proc) {
+      if (foot_peak_by_proc.size() < 2) break;  // one process: no breakdown
+      std::printf("  %-58s %12s\n", ("peak footprint " + proc).c_str(),
+                  fmt_mib(peak).c_str());
+    }
   }
 
   if (!jobs.empty()) {

@@ -56,6 +56,7 @@ struct SweepStats {
   std::size_t cache_hits = 0;   // served from the result journal
   std::size_t executed = 0;     // measured fresh by this sweep
   std::size_t quarantined = 0;  // failed every attempt; excluded
+  std::size_t oom_rejected = 0;  // exceeded modeled device memory
 };
 
 class Harness {

@@ -9,9 +9,8 @@
 // through the three GPU reduction styles of paper Listing 10. TC uses only
 // an atomic add on shared data, which is why its Atomic/CudaAtomic ratios
 // are the mildest in Figure 1.
-#include <vector>
-
 #include "variants/vcuda/vc_common.hpp"
+#include "vcuda/arena.hpp"
 
 namespace indigo::variants::vc {
 namespace {
@@ -29,8 +28,8 @@ RunResult tc_run(const Graph& g, const RunOptions& opts) {
   auto col = dev.array(g.col_index());
   auto srcl = dev.array(g.src_list());
 
-  std::vector<std::uint64_t> count_h(1, 0);
-  auto count = dev.array(std::span<std::uint64_t>(count_h));
+  vcuda::DeviceBuffer<std::uint64_t> count_h(1, 0);
+  auto count = dev.array(count_h.span());
 
   // Serial merge intersection counting common neighbours > v of u and v.
   auto merge_count = [&](vcuda::Thread& t, vid_t u, vid_t v) {

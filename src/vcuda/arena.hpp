@@ -1,0 +1,210 @@
+// Device-memory arena: a region/slab allocator for the simulator's
+// device-resident buffers (value arrays, worklists, graph copies).
+//
+// The sweep's hot loop allocates and frees the same handful of buffer
+// shapes thousands of times — every (variant x graph) cell used to pay the
+// general heap for multi-megabyte worklists (mmap, page-fault zeroing,
+// munmap) per run. The arena keeps that memory mapped: blocks are carved
+// from large bump regions per alignment class, freed blocks land on an
+// exact-size free list for O(1) same-shape reuse, and address-adjacent free
+// blocks coalesce so shape changes (a new graph scale) do not leak the old
+// shapes forever. Regions are only returned to the OS when the arena dies
+// with its thread.
+//
+// The arena is purely a *host* allocator: modeled device capacity is
+// accounted separately by Device's page-aligned virtual bases (sim.hpp),
+// which depend only on wrap order and sizes — so journals are byte-identical
+// whether the arena is on or off. INDIGO_ARENA=off (or 0) selects the
+// general-heap fallback at startup; set_arena_enabled flips it at runtime
+// (the bit-identity tests do).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace indigo::vcuda {
+
+namespace detail {
+/// Registers the "mem" telemetry section (arena + residency aggregates) the
+/// first time an arena or residency cache is constructed. Defined in
+/// residency.cpp; idempotent.
+void ensure_mem_telemetry_section();
+}  // namespace detail
+
+/// Whether DeviceBuffer allocations route through the thread's arena
+/// (default) or the general heap (INDIGO_ARENA=off / set_arena_enabled).
+[[nodiscard]] bool arena_enabled();
+void set_arena_enabled(bool on);
+
+/// Point-in-time accounting of one arena (relaxed-atomic snapshot: safe to
+/// read from the telemetry publisher while the owning thread allocates).
+struct ArenaStats {
+  std::uint64_t live_bytes = 0;       // currently handed out
+  std::uint64_t peak_live_bytes = 0;  // high-water mark of live_bytes
+  std::uint64_t region_bytes = 0;     // total mapped region capacity
+  std::uint64_t regions = 0;          // region count across both classes
+  std::uint64_t region_growths = 0;   // cumulative grow_region calls (the
+                                      // gauge above zeroes at thread death)
+  std::uint64_t allocs = 0;           // alloc() calls served
+  std::uint64_t reuse_hits = 0;       // O(1) exact-size free-list hits
+  std::uint64_t split_allocs = 0;     // carved from a larger free block
+  std::uint64_t bump_allocs = 0;      // served by a region bump pointer
+  std::uint64_t frees = 0;            // free() calls
+  std::uint64_t coalesces = 0;        // adjacent free blocks merged
+};
+
+/// pocl-bufalloc-style region allocator. Not thread-safe: one arena per
+/// thread (thread_arena()), which also keeps reuse deterministic — a sweep
+/// worker always replays its own alloc/free history.
+class DeviceArena {
+ public:
+  /// Small-class blocks are cache-line aligned; blocks of kPageClassBytes
+  /// or more live in page-aligned regions of their own (mixing them with
+  /// small churn would defeat coalescing).
+  static constexpr std::size_t kSmallAlign = 64;
+  static constexpr std::size_t kPageAlign = 4096;
+  static constexpr std::size_t kPageClassBytes = 64 * 1024;
+  static constexpr std::size_t kMinRegionBytes = std::size_t{1} << 20;
+
+  DeviceArena();
+  ~DeviceArena();
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  /// Never returns nullptr; the returned block is aligned to its class
+  /// (kSmallAlign, or kPageAlign for requests >= kPageClassBytes).
+  void* alloc(std::size_t bytes);
+  void free(void* p);
+
+  /// Size a request occupies after alignment-class rounding.
+  [[nodiscard]] static std::size_t round_size(std::size_t bytes);
+
+  [[nodiscard]] ArenaStats stats() const;
+
+  /// Drops every region (all outstanding blocks become invalid). Tests only.
+  void release_all();
+
+ private:
+  struct Region;
+  struct Block {
+    Region* region = nullptr;
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    bool is_free = false;
+    std::size_t bucket_pos = 0;  // index in its free bucket while free
+  };
+  struct Region {
+    std::byte* base = nullptr;
+    std::size_t capacity = 0;
+    std::size_t bump = 0;       // [bump, capacity) is virgin space
+    std::size_t alignment = 0;  // kSmallAlign or kPageAlign
+    std::map<std::size_t, Block*> blocks;  // by offset, for coalescing
+  };
+
+  Region* grow_region(std::size_t alignment, std::size_t need);
+  void bucket_push(Block* b);
+  void bucket_remove(Block* b);
+  Block* take_free(std::size_t rounded, std::size_t alignment);
+
+  std::vector<Region*> regions_;
+  std::unordered_map<std::size_t, std::vector<Block*>> free_buckets_;
+  std::unordered_map<const void*, Block*> by_ptr_;
+  // Relaxed atomics: mutated only by the owning thread, read concurrently
+  // by the telemetry section.
+  struct {
+    std::atomic<std::uint64_t> live_bytes{0}, peak_live_bytes{0},
+        region_bytes{0}, regions{0}, region_growths{0}, allocs{0},
+        reuse_hits{0}, split_allocs{0}, bump_allocs{0}, frees{0},
+        coalesces{0};
+  } st_;
+};
+
+/// The calling thread's arena (created on first use, registered with the
+/// process-wide accounting the "mem" telemetry section publishes).
+DeviceArena& thread_arena();
+
+/// Sum of ArenaStats over every live thread arena in the process.
+ArenaStats aggregate_arena_stats();
+
+/// A device-side working buffer: the std::vector replacement the vcuda
+/// variants hand to Device::array. Allocation goes through the thread's
+/// arena when enabled (general heap otherwise); construction always
+/// value-fills, exactly like the vectors it replaces, so a reused arena
+/// block can never leak a previous run's contents into this one.
+template <typename T>
+class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DeviceBuffer holds raw device words");
+
+ public:
+  DeviceBuffer() = default;
+  explicit DeviceBuffer(std::size_t n) { resize(n); }
+  DeviceBuffer(std::size_t n, T v) { assign(n, v); }
+  ~DeviceBuffer() { release(); }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  void resize(std::size_t n) {
+    if (n == n_) return;
+    bool from_arena = false;
+    T* np = allocate(n, from_arena);
+    const std::size_t keep = n < n_ ? n : n_;
+    if (keep > 0) std::memcpy(np, p_, keep * sizeof(T));
+    if (n > keep) std::memset(np + keep, 0, (n - keep) * sizeof(T));
+    release();
+    p_ = np;
+    n_ = n;
+    from_arena_ = from_arena;
+  }
+
+  void assign(std::size_t n, T v) {
+    if (n != n_) {
+      release();
+      p_ = allocate(n, from_arena_);
+      n_ = n;
+    }
+    for (std::size_t i = 0; i < n_; ++i) p_[i] = v;
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] T* data() { return p_; }
+  [[nodiscard]] const T* data() const { return p_; }
+  [[nodiscard]] std::span<T> span() { return {p_, n_}; }
+  T& operator[](std::size_t i) { return p_[i]; }
+  const T& operator[](std::size_t i) const { return p_[i]; }
+
+ private:
+  static T* allocate(std::size_t n, bool& from_arena) {
+    if (n == 0) return nullptr;
+    from_arena = arena_enabled();
+    if (from_arena) {
+      return static_cast<T*>(thread_arena().alloc(n * sizeof(T)));
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{64}));
+  }
+  void release() {
+    if (p_ == nullptr) return;
+    if (from_arena_) {
+      thread_arena().free(p_);
+    } else {
+      ::operator delete(p_, std::align_val_t{64});
+    }
+    p_ = nullptr;
+    n_ = 0;
+  }
+
+  T* p_ = nullptr;
+  std::size_t n_ = 0;
+  bool from_arena_ = false;
+};
+
+}  // namespace indigo::vcuda

@@ -32,6 +32,12 @@ void DeviceSpec::validate() const {
   if (!(mem_bandwidth_gbs > 0.0))
     fail("mem_bandwidth_gbs",
          "must be positive, got " + std::to_string(mem_bandwidth_gbs));
+  // The capacity check in Device::array compares against this; zero would
+  // reject every wrap including the guard-page-only minimum.
+  if (memory_bytes < 8192)
+    fail("memory_bytes",
+         "must be at least 8192 (one data page + one guard page), got " +
+             std::to_string(memory_bytes));
 }
 
 DeviceSpec rtx3090_like() {
@@ -41,6 +47,7 @@ DeviceSpec rtx3090_like() {
   s.max_threads_per_sm = 1536;
   s.clock_ghz = 1.74;
   s.mem_bandwidth_gbs = 936.0;
+  s.memory_bytes = 24ull << 30;  // 24 GiB GDDR6X
   s.cudaatomic_rmw_mult = 10.0;
   s.cudaatomic_ldst_cycles = 220.0;
   return s;
@@ -53,6 +60,7 @@ DeviceSpec titanv_like() {
   s.max_threads_per_sm = 2048;
   s.clock_ghz = 1.2;
   s.mem_bandwidth_gbs = 653.0;
+  s.memory_bytes = 12ull << 30;  // 12 GiB HBM2
   // Volta predates the native scoped-atomic fast paths that Ampere has;
   // the paper measures default cuda::atomic to be roughly another order of
   // magnitude slower than on the RTX 3090 (Section 5.1).

@@ -38,6 +38,14 @@ struct DeviceSpec {
   double same_address_atomic_cycles = 4.0;  // serialization per conflict
   double kernel_launch_us = 1.5;       // launch + host sync overhead
 
+  // --- device memory capacity ---------------------------------------------
+  // Modeled global-memory size. Device::array charges each wrapped buffer
+  // its page-rounded size plus one guard page (the same arithmetic that
+  // advances the virtual recording bases) and rejects wraps that would push
+  // the modeled footprint past this with a DeviceOomError — a real GPU
+  // effect (cudaMalloc failure) the timing model used to ignore.
+  std::uint64_t memory_bytes = 24ull << 30;  // RTX 3090: 24 GiB GDDR6X
+
   // --- libcu++ cuda::atomic with DEFAULT settings -------------------------
   // Default scope is cuda::thread_scope_system and default order is
   // seq_cst; on real hardware every such access bypasses the L1, fences,

@@ -1,0 +1,285 @@
+#include "vcuda/residency.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <sstream>
+
+#include "obs/counters.hpp"
+#include "obs/telemetry.hpp"
+#include "vcuda/arena.hpp"
+
+namespace indigo::vcuda {
+
+namespace {
+
+bool initial_residency_enabled() {
+  if (const char* env = std::getenv("INDIGO_RESIDENCY")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::atomic<bool> g_residency_enabled{initial_residency_enabled()};
+
+/// The calling thread's active translation set: bind() snapshots the
+/// (caller buffer -> resident copy) pairs here, unbind() clears it, and
+/// residency_translate scans it on every Device::array wrap. A flat copy of
+/// the few pairs (one graph wraps 4-6 buffers) dodges any lifetime coupling
+/// to the LRU list.
+struct Mapping {
+  const void* orig;
+  const void* copy;
+};
+thread_local std::vector<Mapping> g_active;
+
+/// Process-wide registry of live residency caches, mirroring the arena's:
+/// dead threads fold their final tallies into `retired` so aggregate stats
+/// never go backwards.
+struct ResidencyRegistry {
+  std::mutex mu;
+  std::vector<const GraphResidency*> caches;
+  ResidencyStats retired;
+
+  static ResidencyRegistry& instance() {
+    static ResidencyRegistry r;
+    return r;
+  }
+};
+
+void accumulate(ResidencyStats& into, const ResidencyStats& s) {
+  into.graphs_resident += s.graphs_resident;
+  into.resident_bytes += s.resident_bytes;
+  into.hits += s.hits;
+  into.misses += s.misses;
+  into.evictions += s.evictions;
+  into.copied_bytes += s.copied_bytes;
+}
+
+std::size_t residency_cap_from_env() {
+  if (const char* env = std::getenv("INDIGO_RESIDENCY_MAX_MB")) {
+    const long mb = std::strtol(env, nullptr, 10);
+    if (mb > 0) return static_cast<std::size_t>(mb) << 20;
+  }
+  return GraphResidency::kDefaultMaxBytes;
+}
+
+}  // namespace
+
+bool residency_enabled() {
+  return g_residency_enabled.load(std::memory_order_relaxed);
+}
+
+void set_residency_enabled(bool on) {
+  g_residency_enabled.store(on, std::memory_order_relaxed);
+}
+
+const void* residency_translate(const void* p) {
+  for (const Mapping& m : g_active) {
+    if (m.orig == p) return m.copy;
+  }
+  return p;
+}
+
+GraphResidency::GraphResidency(std::size_t max_bytes)
+    : max_bytes_(max_bytes) {
+  detail::ensure_mem_telemetry_section();
+  auto& r = ResidencyRegistry::instance();
+  std::lock_guard lk(r.mu);
+  r.caches.push_back(this);
+}
+
+GraphResidency::~GraphResidency() {
+  auto& r = ResidencyRegistry::instance();
+  {
+    std::lock_guard lk(r.mu);
+    std::erase(r.caches, this);
+    ResidencyStats final = stats();
+    final.graphs_resident = 0;  // the thread died; nothing stays resident
+    final.resident_bytes = 0;
+    accumulate(r.retired, final);
+  }
+  clear();
+}
+
+void GraphResidency::drop(std::list<Entry>::iterator it, bool count_eviction) {
+  for (Buf& b : it->bufs) {
+    if (b.copy == nullptr) continue;
+    if (b.from_arena) {
+      thread_arena().free(b.copy);
+    } else {
+      ::operator delete(b.copy, std::align_val_t{64});
+    }
+  }
+  st_.resident_bytes.fetch_sub(it->bytes, std::memory_order_relaxed);
+  st_.graphs_resident.fetch_sub(1, std::memory_order_relaxed);
+  if (count_eviction) {
+    st_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+      static obs::Counter& c =
+          obs::CounterRegistry::instance().counter("mem.residency_evictions");
+      c.add(1);
+    }
+  }
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+void GraphResidency::evict_to_fit(std::size_t incoming_bytes) {
+  // Evict from the LRU tail until the newcomer fits. A graph bigger than
+  // the whole cap still gets cached (the loop stops at an empty list), so
+  // one oversized graph degrades to single-entry caching, not thrash-off.
+  while (!lru_.empty() &&
+         st_.resident_bytes.load(std::memory_order_relaxed) + incoming_bytes >
+             max_bytes_) {
+    drop(std::prev(lru_.end()), /*count_eviction=*/true);
+  }
+}
+
+bool GraphResidency::bind(
+    std::uint64_t key, std::span<const std::span<const std::byte>> buffers) {
+  g_active.clear();
+  if (auto it = index_.find(key); it != index_.end()) {
+    Entry& e = *it->second;
+    // A hit only counts when the caller's buffers are the ones we copied:
+    // a rebuilt graph can land at a recycled address with the same key.
+    bool same = e.bufs.size() == buffers.size();
+    for (std::size_t i = 0; same && i < buffers.size(); ++i) {
+      same = e.bufs[i].orig == buffers[i].data() &&
+             e.bufs[i].size == buffers[i].size();
+    }
+    if (same) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+      st_.hits.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) {
+        static obs::Counter& c =
+            obs::CounterRegistry::instance().counter("mem.residency_hits");
+        c.add(1);
+      }
+      g_active.reserve(e.bufs.size());
+      for (const Buf& b : e.bufs) g_active.push_back({b.orig, b.copy});
+      return true;
+    }
+    drop(it->second, /*count_eviction=*/false);
+  }
+
+  std::size_t total = 0;
+  for (const auto& s : buffers) total += s.size();
+  evict_to_fit(total);
+
+  Entry e;
+  e.key = key;
+  e.bytes = total;
+  e.bufs.reserve(buffers.size());
+  for (const auto& s : buffers) {
+    Buf b;
+    b.orig = s.data();
+    b.size = s.size();
+    if (b.size > 0) {
+      b.from_arena = arena_enabled();
+      b.copy = b.from_arena
+                   ? static_cast<std::byte*>(thread_arena().alloc(b.size))
+                   : static_cast<std::byte*>(
+                         ::operator new(b.size, std::align_val_t{64}));
+      std::memcpy(b.copy, s.data(), b.size);
+    }
+    e.bufs.push_back(b);
+  }
+  lru_.push_front(std::move(e));
+  index_[key] = lru_.begin();
+  st_.graphs_resident.fetch_add(1, std::memory_order_relaxed);
+  st_.resident_bytes.fetch_add(total, std::memory_order_relaxed);
+  st_.misses.fetch_add(1, std::memory_order_relaxed);
+  st_.copied_bytes.fetch_add(total, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    auto& reg = obs::CounterRegistry::instance();
+    static obs::Counter& c_miss = reg.counter("mem.residency_misses");
+    static obs::Counter& c_bytes = reg.counter("mem.residency_copied_bytes");
+    c_miss.add(1);
+    c_bytes.add(total);
+  }
+  const Entry& in = lru_.front();
+  g_active.reserve(in.bufs.size());
+  for (const Buf& b : in.bufs) g_active.push_back({b.orig, b.copy});
+  return false;
+}
+
+void GraphResidency::unbind() { g_active.clear(); }
+
+void GraphResidency::clear() {
+  g_active.clear();
+  while (!lru_.empty()) drop(lru_.begin(), /*count_eviction=*/false);
+}
+
+ResidencyStats GraphResidency::stats() const {
+  ResidencyStats s;
+  s.graphs_resident = st_.graphs_resident.load(std::memory_order_relaxed);
+  s.resident_bytes = st_.resident_bytes.load(std::memory_order_relaxed);
+  s.hits = st_.hits.load(std::memory_order_relaxed);
+  s.misses = st_.misses.load(std::memory_order_relaxed);
+  s.evictions = st_.evictions.load(std::memory_order_relaxed);
+  s.copied_bytes = st_.copied_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<std::uint64_t> GraphResidency::resident_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& e : lru_) keys.push_back(e.key);
+  return keys;
+}
+
+GraphResidency& thread_residency() {
+  // Touch the arena first: thread_local destruction runs in reverse
+  // construction order, and the cache's destructor frees its resident
+  // copies back into the arena — so the arena must be constructed before
+  // (and therefore destroyed after) the cache.
+  thread_arena();
+  thread_local GraphResidency cache(residency_cap_from_env());
+  return cache;
+}
+
+ResidencyStats aggregate_residency_stats() {
+  auto& r = ResidencyRegistry::instance();
+  std::lock_guard lk(r.mu);
+  ResidencyStats total = r.retired;
+  for (const GraphResidency* c : r.caches) accumulate(total, c->stats());
+  return total;
+}
+
+namespace detail {
+
+void ensure_mem_telemetry_section() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    obs::telemetry_register_section("mem", [] {
+      const ArenaStats a = aggregate_arena_stats();
+      const ResidencyStats r = aggregate_residency_stats();
+      std::ostringstream os;
+      os << "{\"arena\":{"
+         << "\"live_bytes\":" << a.live_bytes
+         << ",\"peak_live_bytes\":" << a.peak_live_bytes
+         << ",\"region_bytes\":" << a.region_bytes
+         << ",\"regions\":" << a.regions
+         << ",\"region_growths\":" << a.region_growths
+         << ",\"allocs\":" << a.allocs
+         << ",\"reuse_hits\":" << a.reuse_hits
+         << ",\"split_allocs\":" << a.split_allocs
+         << ",\"bump_allocs\":" << a.bump_allocs << ",\"frees\":" << a.frees
+         << ",\"coalesces\":" << a.coalesces << "},\"residency\":{"
+         << "\"graphs_resident\":" << r.graphs_resident
+         << ",\"resident_bytes\":" << r.resident_bytes
+         << ",\"hits\":" << r.hits << ",\"misses\":" << r.misses
+         << ",\"evictions\":" << r.evictions
+         << ",\"copied_bytes\":" << r.copied_bytes << "}}";
+      return os.str();
+    });
+  });
+}
+
+}  // namespace detail
+
+}  // namespace indigo::vcuda

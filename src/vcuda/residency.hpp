@@ -1,0 +1,117 @@
+// Multi-graph residency: an LRU cache of device-resident graph copies.
+//
+// Every sweep cell used to "upload" its graph from scratch — no copy is
+// simulated, but the variant's Device wraps the CSR buffers of whatever the
+// harness hands it, and the harness re-derived those spans (and the paged
+// materialization behind them) per cell. GraphResidency keeps byte copies of
+// the CSR buffers of recently used graphs alive in the thread's arena;
+// binding a graph that is already resident is a hit (no copy), and
+// Device::array transparently reads through the resident copy via
+// residency_translate. Consecutive cells on the same graph — which the
+// executor's graph-affinity lanes and the fleet's cell-range shards both
+// arrange on purpose — touch warm memory instead of a fresh mapping.
+//
+// The substitution is invisible to the model: Device::array translates the
+// pointer *before* assigning virtual recording bases, so wrap order, sizes,
+// and pointer distinctness — everything modeled time and the journal depend
+// on — are identical with residency on or off. INDIGO_RESIDENCY=off (or 0)
+// disables binding at the harness layer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace indigo::vcuda {
+
+/// Whether Harness::measure_one binds graphs through the thread's
+/// GraphResidency (default) or wraps the caller's buffers directly
+/// (INDIGO_RESIDENCY=off / set_residency_enabled(false)).
+[[nodiscard]] bool residency_enabled();
+void set_residency_enabled(bool on);
+
+/// Point-in-time accounting of one residency cache (and, via
+/// aggregate_residency_stats, of the whole process).
+struct ResidencyStats {
+  std::uint64_t graphs_resident = 0;  // entries currently cached
+  std::uint64_t resident_bytes = 0;   // bytes of cached graph copies
+  std::uint64_t hits = 0;             // bind() found the graph resident
+  std::uint64_t misses = 0;           // bind() had to copy the graph in
+  std::uint64_t evictions = 0;        // LRU entries dropped for capacity
+  std::uint64_t copied_bytes = 0;     // total bytes copied in on misses
+};
+
+/// LRU cache of device-resident graph buffer sets. Not thread-safe: one per
+/// worker thread (thread_residency()), matching the per-thread arena its
+/// copies live in.
+class GraphResidency {
+ public:
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{1} << 30;
+
+  /// max_bytes caps the sum of cached copy sizes; a single graph larger
+  /// than the cap still becomes resident (everything else is evicted).
+  explicit GraphResidency(std::size_t max_bytes = kDefaultMaxBytes);
+  ~GraphResidency();
+  GraphResidency(const GraphResidency&) = delete;
+  GraphResidency& operator=(const GraphResidency&) = delete;
+
+  /// Makes `buffers` (a graph's CSR spans, in wrap order) the calling
+  /// thread's active translation set, copying them in unless `key` is
+  /// already resident with identical buffer identities. Returns true on a
+  /// residency hit. A key whose buffers changed (the graph was rebuilt at
+  /// the same address) is dropped and re-copied.
+  bool bind(std::uint64_t key,
+            std::span<const std::span<const std::byte>> buffers);
+
+  /// Clears the thread's active translation set (the cache entry stays
+  /// resident for the next bind).
+  void unbind();
+
+  /// Drops every cached graph (and the active binding). Tests only.
+  void clear();
+
+  [[nodiscard]] ResidencyStats stats() const;
+  [[nodiscard]] std::size_t max_bytes() const { return max_bytes_; }
+
+  /// LRU order of resident keys, most recent first. Tests only.
+  [[nodiscard]] std::vector<std::uint64_t> resident_keys() const;
+
+ private:
+  struct Buf {
+    const void* orig = nullptr;  // caller's buffer (translation key)
+    std::byte* copy = nullptr;   // resident bytes (translation value)
+    std::size_t size = 0;
+    bool from_arena = false;
+  };
+  struct Entry {
+    std::uint64_t key = 0;
+    std::vector<Buf> bufs;
+    std::size_t bytes = 0;
+  };
+
+  void drop(std::list<Entry>::iterator it, bool count_eviction);
+  void evict_to_fit(std::size_t incoming_bytes);
+
+  std::size_t max_bytes_;
+  std::list<Entry> lru_;  // front = most recently bound
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  // Relaxed atomics: mutated only by the owning thread, read concurrently
+  // by the telemetry publisher through aggregate_residency_stats.
+  struct {
+    std::atomic<std::uint64_t> graphs_resident{0}, resident_bytes{0}, hits{0},
+        misses{0}, evictions{0}, copied_bytes{0};
+  } st_;
+};
+
+/// The calling thread's residency cache (created on first use; capacity from
+/// INDIGO_RESIDENCY_MAX_MB when set).
+GraphResidency& thread_residency();
+
+/// Sum of ResidencyStats over every live thread cache plus retired threads.
+ResidencyStats aggregate_residency_stats();
+
+}  // namespace indigo::vcuda

@@ -32,6 +32,8 @@ WarpEngine initial_warp_engine() {
 
 std::atomic<WarpEngine> g_warp_engine{initial_warp_engine()};
 
+std::atomic<std::uint64_t> g_peak_footprint{0};
+
 }  // namespace
 
 bool reference_model() {
@@ -48,6 +50,17 @@ WarpEngine warp_engine() {
 
 void set_warp_engine(WarpEngine e) {
   g_warp_engine.store(e, std::memory_order_relaxed);
+}
+
+void note_modeled_footprint(std::uint64_t bytes) {
+  std::uint64_t cur = g_peak_footprint.load(std::memory_order_relaxed);
+  while (bytes > cur && !g_peak_footprint.compare_exchange_weak(
+                            cur, bytes, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t peak_modeled_footprint_bytes() {
+  return g_peak_footprint.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -99,26 +112,11 @@ void WarpRecorder::grow(std::size_t need) {
   group_cap_ = cap;
 }
 
-void WarpRecorder::flush(Device& dev) {
-  if (op_index_ > used_groups_) used_groups_ = op_index_;  // last lane's ops
-  if (lane_accesses_ > 0) dev.add_lane_accesses(lane_accesses_);
-  if (active_lanes_ == 0) return;
+// Cold half of flush (the inline prefix in sim.hpp handles the per-region
+// lockstep accounting and only calls here when the region recorded
+// accesses, i.e. used_groups_ > 0).
+void WarpRecorder::flush_groups(Device& dev) {
   const DeviceSpec& spec = *spec_;
-
-  // SIMT lockstep: the warp is as slow as its slowest lane, plus a fixed
-  // scheduling overhead per warp-region. This is what makes thread-level
-  // processing of a high-degree vertex stall the 31 sibling lanes (the load
-  // imbalance the paper's Section 5.8 attributes thread-granularity's
-  // losses to).
-  double max_lane = 0;
-  double sum_lanes = 0;
-  for (int l = 0; l < active_lanes_; ++l) {
-    max_lane = std::max(max_lane, lane_cycles_[l]);
-    sum_lanes += lane_cycles_[l];
-  }
-  dev.add_compute_cycles(max_lane + spec.warp_fixed_cycles);
-  dev.add_simt_cycles(sum_lanes, max_lane * active_lanes_);
-  dev.add_fence_cycles(fence_cycles_);
 
   // Coalescing: accesses made by the warp's lanes at the same program point
   // form one SIMT memory instruction; they cost as many 128-byte
@@ -491,7 +489,10 @@ void Device::finalize_launch() {
     static obs::Counter& c_sim_ns = reg.counter("vcuda.sim_ns");
     static obs::Distribution& d_occ = reg.distribution("vcuda.occupancy");
     static obs::Distribution& d_div = reg.distribution("vcuda.divergence");
+    static obs::Distribution& d_foot =
+        reg.distribution("mem.launch_footprint_bytes");
     c_launches.add(1);
+    d_foot.record(static_cast<double>(modeled_footprint_bytes()));
     c_txn.add(stats_.transactions);
     c_replay.add(stats_.replayed_transactions());
     c_instr.add(stats_.mem_instructions);
@@ -533,6 +534,8 @@ void Device::finalize_launch() {
       span.arg("hotspot_cycles_max", stats_.hotspot_cycles_max);
       span.arg("fence_cycles", stats_.fence_cycles);
       span.arg("barriers", static_cast<double>(stats_.barriers));
+      span.arg("footprint_bytes",
+               static_cast<double>(modeled_footprint_bytes()));
       span.set_start_us(launch_start_us_);
       span.end();
     }

@@ -29,6 +29,8 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "racecheck/racecheck.hpp"
@@ -42,6 +44,55 @@ class Thread;
 class WarpCtx;
 template <typename T>
 class DeviceArray;
+
+/// Thrown by Device::array when wrapping a buffer would push the modeled
+/// device footprint past DeviceSpec::memory_bytes — the simulator's
+/// cudaMalloc failure. Deterministic: the footprint is derived purely from
+/// wrap order and buffer sizes (the virtual-base arithmetic), never from
+/// host heap state, so a program OOMs identically in every process and with
+/// the host arena on or off. The harness records it as a validity outcome.
+class DeviceOomError : public std::runtime_error {
+ public:
+  DeviceOomError(std::uint64_t requested_bytes, std::uint64_t footprint_bytes,
+                 std::uint64_t capacity_bytes, const std::string& device)
+      : std::runtime_error(
+            "device OOM: wrapping " + std::to_string(requested_bytes) +
+            " B would raise the modeled footprint to " +
+            std::to_string(footprint_bytes) + " B on '" + device +
+            "' (capacity " + std::to_string(capacity_bytes) + " B)"),
+        requested_bytes_(requested_bytes),
+        footprint_bytes_(footprint_bytes),
+        capacity_bytes_(capacity_bytes) {}
+
+  [[nodiscard]] std::uint64_t requested_bytes() const {
+    return requested_bytes_;
+  }
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return footprint_bytes_;
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return capacity_bytes_;
+  }
+
+ private:
+  std::uint64_t requested_bytes_, footprint_bytes_, capacity_bytes_;
+};
+
+/// Defined in residency.cpp: maps a graph buffer's host pointer to its
+/// device-resident copy when the calling thread has an active
+/// GraphResidency binding, else returns the pointer unchanged. Device::array
+/// calls it before the virtual-base lookup, so a resident graph keeps the
+/// same wrap order and sizes (hence the same modeled time and journal
+/// bytes) as a freshly wrapped one.
+[[nodiscard]] const void* residency_translate(const void* p);
+
+/// Folds one device's modeled footprint into the process-wide peak
+/// (atomic max). Device::array calls it whenever the footprint grows.
+void note_modeled_footprint(std::uint64_t bytes);
+
+/// Largest modeled device-memory footprint any Device in this process has
+/// reached (bytes). Deterministic: depends only on wrap orders and sizes.
+[[nodiscard]] std::uint64_t peak_modeled_footprint_bytes();
 
 /// Upper bound on DeviceSpec::warp_size (enforced by DeviceSpec::validate):
 /// lane state fits fixed SoA arrays and divergence masks fit one 64-bit word.
@@ -184,8 +235,12 @@ class WarpRecorder {
       std::memset(group_info_.data(), 0, used_groups_ * sizeof(std::uint16_t));
     used_groups_ = 0;
     op_index_ = 0;
-    // Lanes above stride_ (= warp_size) are never charged.
-    std::memset(lane_cycles_.data(), 0, stride_ * sizeof(double));
+    // Only the previous region's active lanes can hold nonzero cycles
+    // (every charge site indexes below the region's lane population), so
+    // zeroing that prefix is enough; the array starts zero-initialized.
+    if (active_lanes_ > 0)
+      std::memset(lane_cycles_.data(), 0,
+                  static_cast<std::size_t>(active_lanes_) * sizeof(double));
     fence_cycles_ = 0;
     lane_accesses_ = 0;
     active_lanes_ = 0;
@@ -196,6 +251,16 @@ class WarpRecorder {
     if (op_index_ > used_groups_) used_groups_ = op_index_;
     op_index_ = 0;
     if (lane + 1 > active_lanes_) active_lanes_ = lane + 1;
+  }
+
+  /// Per-lane cursor roll for callers that declared the lane population up
+  /// front via set_active_lanes (for_each_thread visits every lane of the
+  /// warp, so the running-max bookkeeping of set_lane is dead weight on a
+  /// loop that runs 32 times per region).
+  void set_lane_counted(int lane) {
+    lane_ = lane;
+    if (op_index_ > used_groups_) used_groups_ = op_index_;
+    op_index_ = 0;
   }
 
   /// Lane-loop regions know their lane population up front (every lane of
@@ -213,7 +278,10 @@ class WarpRecorder {
   // Every caller passes a compile-time-constant `kind` (the DeviceArray
   // accessors inline down to here), so the kind branches below fold away
   // and each call site compiles to the stores + adds of its own kind only.
-  void record(std::uint64_t addr, AccessKind kind) {
+  // The attribute is load-bearing: at -O2 gcc otherwise keeps record()
+  // out of line inside the accessors, and every simulated access pays a
+  // call/ret plus runtime kind tests — measurably slower at sweep scale.
+  [[gnu::always_inline]] void record(std::uint64_t addr, AccessKind kind) {
     ++lane_accesses_;
     const std::size_t gi = op_index_++;
     if (gi >= group_cap_) grow(gi + 1);
@@ -245,6 +313,10 @@ class WarpRecorder {
 
   /// Folds the region's recording into the launch stats and the hotspot
   /// table (see Device). Called when all lanes finished the region.
+  /// Defined inline after Device: the lockstep accounting runs for every
+  /// region (>100M per sweep), so it must not pay a call, while the group
+  /// walk (flush_groups) stays out of line and only runs when the region
+  /// recorded accesses.
   void flush(Device& dev);
 
  private:
@@ -254,6 +326,7 @@ class WarpRecorder {
 
   void bind_spec(const DeviceSpec& spec);  // charge tables + arena stride
   void grow(std::size_t need);             // cold path: enlarge the arena
+  void flush_groups(Device& dev);          // coalescing/atomic group walk
   /// Exact first-occurrence dedup of n (<= warp_size) values via a
   /// generation-stamped open-addressing table: O(n) expected, no sort, no
   /// per-call clearing. Writes the distinct values to `out`, returns their
@@ -1060,6 +1133,10 @@ class Block {
       rec_.begin(spec(), bidx_ * warps + w);
       const std::uint32_t lo = w * ws;
       const std::uint32_t count = std::min(bdim_, (w + 1) * ws) - lo;
+      // Every lane of the warp is visited below, so the region's lane
+      // population is known up front; declaring it here lets the per-lane
+      // call skip set_lane's running-max bookkeeping.
+      rec_.set_active_lanes(static_cast<int>(count));
       // Lanes also run in scrambled order: hardware lockstep means a
       // lane's reads happen before its siblings' same-instruction writes
       // land, so in-id-order emulation would overstate how far values
@@ -1070,7 +1147,7 @@ class Block {
       for (std::uint32_t j = 0; j < count; ++j) {
         // lane == tid % ws == li, since lo is a multiple of ws and
         // li < count <= ws — no per-lane division needed.
-        rec_.set_lane(static_cast<int>(li));
+        rec_.set_lane_counted(static_cast<int>(li));
         t.set_tid(lo + li);
         fn(t);
         li += lstep;
@@ -1218,7 +1295,15 @@ class Device {
   /// chain identity through either wrapper is preserved.
   template <typename T>
   DeviceArray<T> array(std::span<T> data) {
-    const void* host = static_cast<const void*>(data.data());
+    // A graph buffer bound through GraphResidency reads from its resident
+    // copy instead of the caller's span. The substitution happens before
+    // the vbase lookup, so wrap order, sizes, and pointer distinctness —
+    // everything modeled time depends on — are unchanged.
+    const void* host = residency_translate(static_cast<const void*>(data.data()));
+    if (host != static_cast<const void*>(data.data())) {
+      data = std::span<T>(
+          const_cast<T*>(static_cast<const T*>(host)), data.size());
+    }
     std::uint64_t vb = 0;
     for (const auto& [p, b] : vbases_) {
       if (p == host) {
@@ -1229,10 +1314,28 @@ class Device {
     if (vb == 0) {
       vb = next_vbase_;
       constexpr std::uint64_t kPage = 4096;
-      next_vbase_ += (data.size_bytes() + 2 * kPage - 1) & ~(kPage - 1);
+      const std::uint64_t charged =
+          (data.size_bytes() + 2 * kPage - 1) & ~(kPage - 1);
+      // Capacity model: each distinct buffer is charged its page-rounded
+      // size plus a guard page (the same arithmetic that spaces the
+      // recording bases). Deterministic — depends only on wrap order and
+      // sizes, so a program OOMs identically in every process.
+      const std::uint64_t footprint = (next_vbase_ - kVBase0) + charged;
+      if (footprint > spec_.memory_bytes) {
+        throw DeviceOomError(data.size_bytes(), footprint,
+                             spec_.memory_bytes, spec_.name);
+      }
+      next_vbase_ += charged;
+      note_modeled_footprint(next_vbase_ - kVBase0);
       vbases_.emplace_back(host, vb);
     }
     return DeviceArray<T>(data, reinterpret_cast<const void*>(vb));
+  }
+
+  /// Modeled device-memory footprint so far: page-rounded bytes (plus one
+  /// guard page each) of every distinct buffer wrapped on this device.
+  [[nodiscard]] std::uint64_t modeled_footprint_bytes() const {
+    return next_vbase_ - kVBase0;
   }
 
   /// Runs `fn(Block&)` for every block of the grid and charges the modeled
@@ -1375,8 +1478,9 @@ class Device {
   std::vector<HotSlot> hotspot_;
   // Virtual-base allocator for array() (host pointer -> assigned base).
   // Few arrays per kernel, so a scanned vector beats a hash map here.
+  static constexpr std::uint64_t kVBase0 = std::uint64_t{1} << 40;
   std::vector<std::pair<const void*, std::uint64_t>> vbases_;
-  std::uint64_t next_vbase_ = std::uint64_t{1} << 40;
+  std::uint64_t next_vbase_ = kVBase0;
   std::uint64_t launch_epoch_ = 0;
   double hot_max_ = 0;
   bool ref_ = false;  // legacy reference algorithms (golden test only)
@@ -1639,5 +1743,89 @@ inline void WarpCtx::relax_min(Mask m, const DeviceArray<C>& col,
   fast_mem(lines, n);
   fast_chain(addrs, n, /*rmw=*/false);
 }
+
+namespace detail {
+
+// Out of class (and after Device) so the call inlines into the engines and
+// Device's inline accounting sinks are visible. This prefix runs once per
+// warp-region — >100M times in a sweep — while the group walk
+// (flush_groups, sim.cpp) stays out of line and only runs when the region
+// recorded any accesses.
+inline void WarpRecorder::flush(Device& dev) {
+  if (op_index_ > used_groups_) used_groups_ = op_index_;  // last lane's ops
+  if (lane_accesses_ > 0) dev.add_lane_accesses(lane_accesses_);
+  if (active_lanes_ == 0) return;
+
+  // SIMT lockstep: the warp is as slow as its slowest lane, plus a fixed
+  // scheduling overhead per warp-region. This is what makes thread-level
+  // processing of a high-degree vertex stall the 31 sibling lanes (the load
+  // imbalance the paper's Section 5.8 attributes thread-granularity's
+  // losses to).
+  //
+  // Fixed-shape pairwise tree over the next power of two. A left fold here
+  // was the region hot spot: 32 dependent double adds serialize ~128 cycles
+  // per region. Pairwise halving runs the adds of each level in parallel
+  // (and vectorizes); zero padding is exact for the non-negative cycle
+  // sums, and max is exact under any association. Any fixed association is
+  // deterministic — every flush path shares this one reduction.
+  double max_lane;
+  double sum_lanes;
+  const int n = active_lanes_;
+  if (n == 1) {
+    max_lane = std::max(0.0, lane_cycles_[0]);
+    sum_lanes = lane_cycles_[0];
+  } else if (n == 32) {
+    // Full warp, by far the common shape: same pairwise halving as the
+    // general tree below but with constant trip counts, so the levels
+    // unroll and vectorize. The pairings match level for level, hence the
+    // result is bit-identical to the general tree's.
+    alignas(64) double s[16];
+    alignas(64) double mx[16];
+    for (int i = 0; i < 16; ++i) {
+      s[i] = lane_cycles_[i] + lane_cycles_[i + 16];
+      mx[i] = std::max(lane_cycles_[i], lane_cycles_[i + 16]);
+    }
+    for (int i = 0; i < 8; ++i) {
+      s[i] += s[i + 8];
+      mx[i] = std::max(mx[i], mx[i + 8]);
+    }
+    for (int i = 0; i < 4; ++i) {
+      s[i] += s[i + 4];
+      mx[i] = std::max(mx[i], mx[i + 4]);
+    }
+    s[0] += s[2];
+    s[1] += s[3];
+    mx[0] = std::max(mx[0], mx[2]);
+    mx[1] = std::max(mx[1], mx[3]);
+    max_lane = std::max(mx[0], mx[1]);
+    sum_lanes = s[0] + s[1];
+  } else {
+    alignas(64) double s[kMaxLanes];
+    alignas(64) double mx[kMaxLanes];
+    const int m = static_cast<int>(std::bit_ceil(static_cast<unsigned>(n)));
+    for (int l = 0; l < n; ++l) {
+      s[l] = lane_cycles_[l];
+      mx[l] = lane_cycles_[l];
+    }
+    for (int l = n; l < m; ++l) {
+      s[l] = 0.0;
+      mx[l] = 0.0;
+    }
+    for (int h = m >> 1; h >= 1; h >>= 1) {
+      for (int i = 0; i < h; ++i) {
+        s[i] += s[i + h];
+        mx[i] = std::max(mx[i], mx[i + h]);
+      }
+    }
+    max_lane = mx[0];
+    sum_lanes = s[0];
+  }
+  dev.add_compute_cycles(max_lane + spec_->warp_fixed_cycles);
+  dev.add_simt_cycles(sum_lanes, max_lane * n);
+  dev.add_fence_cycles(fence_cycles_);
+  if (used_groups_ > 0) flush_groups(dev);
+}
+
+}  // namespace detail
 
 }  // namespace indigo::vcuda
